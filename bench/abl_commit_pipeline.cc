@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §6.3): paper-literal strict commit — region k+1
+ * flushes only after region k's flush-ACK round completes on every MC —
+ * vs the relaxed per-MC pipelined commit this implementation defaults
+ * to. The strict mode serializes cross-thread regions through the ACK
+ * round trip; the gap quantifies what the relaxation buys.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Ablation: LightWSP commit pipelining (relaxed vs strict "
+        "flush-ACKs)");
+    table.addColumn("relaxed");
+    table.addColumn("strict");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        std::vector<double> row;
+        for (bool strict : {false, true}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = core::Scheme::LightWsp;
+            spec.strictFlushAcks = strict;
+            row.push_back(runner.slowdownVsBaseline(spec));
+        }
+        table.addRow(p->name, p->suite, row);
+    }
+
+    bench::finish(table, args, /*per_app=*/false);
+    return 0;
+}

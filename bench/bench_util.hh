@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries.
+ *
+ * Every bench accepts:
+ *   --quick      run a representative subset of apps (fast smoke mode)
+ *   --csv FILE   additionally dump the table as CSV
+ */
+
+#ifndef LWSP_BENCH_BENCH_UTIL_HH
+#define LWSP_BENCH_BENCH_UTIL_HH
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "workloads/profile.hh"
+
+namespace lwsp {
+namespace bench {
+
+struct BenchArgs
+{
+    bool quick = false;
+    std::string csvPath;
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--quick") {
+            args.quick = true;
+        } else if (a == "--csv" && i + 1 < argc) {
+            args.csvPath = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--quick] [--csv FILE]\n";
+            std::exit(2);
+        }
+    }
+    setLogQuiet(true);
+    return args;
+}
+
+/** The apps to sweep: all 38, or one representative per suite in quick
+ *  mode. */
+inline std::vector<const workloads::WorkloadProfile *>
+selectedProfiles(const BenchArgs &args)
+{
+    std::vector<const workloads::WorkloadProfile *> out;
+    if (!args.quick) {
+        for (const auto &p : workloads::paperProfiles())
+            out.push_back(&p);
+        return out;
+    }
+    std::vector<std::string> picks = {"lbm",  "xz", "intruder",
+                                      "is",   "radix", "rb"};
+    for (const auto &name : picks)
+        out.push_back(&workloads::profileByName(name));
+    return out;
+}
+
+inline void
+finish(const harness::ResultTable &table, const BenchArgs &args,
+       bool per_app = true)
+{
+    if (per_app)
+        table.print(std::cout);
+    else
+        table.printSuiteSummary(std::cout);
+    if (!args.csvPath.empty()) {
+        std::ofstream csv(args.csvPath);
+        table.writeCsv(csv);
+        std::cout << "csv written to " << args.csvPath << '\n';
+    }
+}
+
+} // namespace bench
+} // namespace lwsp
+
+#endif // LWSP_BENCH_BENCH_UTIL_HH

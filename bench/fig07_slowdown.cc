@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 7: slowdown of Capri, PPA and LightWSP over the memory-mode
+ * baseline, per application with per-suite and overall geomeans.
+ * Paper result: 50.5% / 8.1% / 9.0% average overhead respectively.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Fig 7: execution slowdown vs baseline (Capri / PPA / LightWSP)");
+    table.addColumn("capri");
+    table.addColumn("ppa");
+    table.addColumn("lightwsp");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        std::vector<double> row;
+        for (core::Scheme s : {core::Scheme::Capri, core::Scheme::Ppa,
+                               core::Scheme::LightWsp}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = s;
+            row.push_back(runner.slowdownVsBaseline(spec));
+        }
+        table.addRow(p->name, p->suite, row);
+    }
+
+    bench::finish(table, args);
+    return 0;
+}

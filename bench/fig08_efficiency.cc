@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 8: region-level persistence efficiency (Eq. 1) of PPA and
+ * LightWSP, per suite. Paper result: 89.3% (PPA) vs 99.9% (LightWSP) —
+ * LRPO hides essentially all persistence latency while PPA pays waits at
+ * each hardware region boundary.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Fig 8: region-level persistence efficiency % (PPA / LightWSP)");
+    table.addColumn("ppa");
+    table.addColumn("lightwsp");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        std::vector<double> row;
+        for (core::Scheme s : {core::Scheme::Ppa, core::Scheme::LightWsp}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = s;
+            auto outcome = runner.run(spec);
+            auto cfg = harness::makeConfig(*p, spec);
+            row.push_back(
+                harness::persistenceEfficiency(outcome.result, cfg));
+        }
+        table.addRow(p->name, p->suite, row);
+    }
+
+    bench::finish(table, args, /*per_app=*/false);
+    return 0;
+}

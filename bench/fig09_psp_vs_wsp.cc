@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 9: ideal PSP (eADR/BBB-class, no DRAM cache) vs LightWSP on the
+ * memory-intensive applications. Paper result: 51.2% avg (up to 2.6x on
+ * libquantum) for ideal PSP vs 3% for LightWSP — the cost of forfeiting
+ * DRAM as LLC dwarfs LightWSP's persistence overhead.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Fig 9: slowdown on memory-intensive apps (PSP-ideal / LightWSP)");
+    table.addColumn("psp-ideal");
+    table.addColumn("lightwsp");
+
+    for (const auto &name : workloads::memoryIntensiveNames()) {
+        const auto &p = workloads::profileByName(name);
+        std::vector<double> row;
+        for (core::Scheme s :
+             {core::Scheme::PspIdeal, core::Scheme::LightWsp}) {
+            harness::RunSpec spec;
+            spec.workload = name;
+            spec.scheme = s;
+            row.push_back(runner.slowdownVsBaseline(spec));
+        }
+        table.addRow(name, p.suite, row);
+    }
+
+    bench::finish(table, args);
+    return 0;
+}

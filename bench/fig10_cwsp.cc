@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 10: LightWSP vs the state-of-the-art cWSP, per suite (NPB
+ * excluded, matching the paper). Paper result: cWSP 5.7% vs LightWSP
+ * 8.5% average — comparable performance, but cWSP needs intrusive
+ * core/MC changes while LightWSP's hardware cost is near zero.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Fig 10: slowdown vs baseline (cWSP / LightWSP), NPB excluded");
+    table.addColumn("cwsp");
+    table.addColumn("lightwsp");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        if (p->suite == "NPB")
+            continue;  // cWSP's evaluation does not use NPB
+        std::vector<double> row;
+        for (core::Scheme s :
+             {core::Scheme::Cwsp, core::Scheme::LightWsp}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = s;
+            row.push_back(runner.slowdownVsBaseline(spec));
+        }
+        table.addRow(p->name, p->suite, row);
+    }
+
+    bench::finish(table, args, /*per_app=*/false);
+    return 0;
+}

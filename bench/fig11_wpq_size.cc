@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 11: WPQ-size sensitivity (256 / 128 / 64 entries; store
+ * threshold = half the WPQ; the front-end buffer tracks the WPQ size).
+ * Paper result: larger WPQs perform best; the 64-entry default matches
+ * commodity iMCs at a small cost.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Fig 11: LightWSP slowdown for WPQ sizes 256/128/64");
+    table.addColumn("wpq-256");
+    table.addColumn("wpq-128");
+    table.addColumn("wpq-64");
+    table.addColumn("wpq-16");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        std::vector<double> row;
+        for (unsigned wpq : {256u, 128u, 64u, 16u}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = core::Scheme::LightWsp;
+            spec.wpqEntries = wpq;
+            row.push_back(runner.slowdownVsBaseline(spec));
+        }
+        table.addRow(p->name, p->suite, row);
+    }
+
+    bench::finish(table, args, /*per_app=*/false);
+    return 0;
+}

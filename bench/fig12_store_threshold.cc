@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 12: store-threshold sensitivity at a fixed 64-entry WPQ
+ * (thresholds 16 / 32 / 64). Paper result: half the WPQ size (32) is the
+ * sweet spot — smaller thresholds multiply checkpoint stores, larger
+ * ones quarantine too much per region and stall the pipeline. A thr-8
+ * column is added because, at this model's region sizes (unroll-capped
+ * to match §V-G3), thresholds of 16+ rarely bind; the checkpoint
+ * inflation the paper describes appears clearly at 8.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Fig 12: LightWSP slowdown for store thresholds 16/32/64 "
+        "(WPQ = 64)");
+    table.addColumn("thr-8");
+    table.addColumn("thr-16");
+    table.addColumn("thr-32");
+    table.addColumn("thr-64");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        std::vector<double> row;
+        for (unsigned thr : {8u, 16u, 32u, 64u}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = core::Scheme::LightWsp;
+            spec.storeThreshold = thr;
+            row.push_back(runner.slowdownVsBaseline(spec));
+        }
+        table.addRow(p->name, p->suite, row);
+    }
+
+    bench::finish(table, args, /*per_app=*/false);
+    return 0;
+}

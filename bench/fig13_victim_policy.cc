@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 13: buffer-snooping victim-selection policy sensitivity
+ * (full-way scan / half-way scan / zero — wait for the FEB entry).
+ * Paper result: no significant difference, because buffer conflicts are
+ * vanishingly rare (Table II).
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Fig 13: LightWSP slowdown per victim-selection policy");
+    table.addColumn("full");
+    table.addColumn("half");
+    table.addColumn("zero");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        std::vector<double> row;
+        for (mem::VictimPolicy v :
+             {mem::VictimPolicy::Full, mem::VictimPolicy::Half,
+              mem::VictimPolicy::Zero}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = core::Scheme::LightWsp;
+            spec.victimPolicy = v;
+            row.push_back(runner.slowdownVsBaseline(spec));
+        }
+        table.addRow(p->name, p->suite, row);
+    }
+
+    bench::finish(table, args, /*per_app=*/false);
+    return 0;
+}

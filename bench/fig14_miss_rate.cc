@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 14: L1 cache miss rate (%) under the three victim-selection
+ * policies vs the stale-load configuration (no buffer snooping). Paper
+ * result: similar rates for the three policies; the stale-load case is
+ * visibly higher on the multi-threaded suites because every stale fetch
+ * forces a refetch once the in-flight store lands.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Fig 14: L1 miss rate % per victim policy (+ stale-load)");
+    table.addColumn("full");
+    table.addColumn("half");
+    table.addColumn("zero");
+    table.addColumn("stale-load");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        std::vector<double> row;
+        for (mem::VictimPolicy v :
+             {mem::VictimPolicy::Full, mem::VictimPolicy::Half,
+              mem::VictimPolicy::Zero, mem::VictimPolicy::None}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = core::Scheme::LightWsp;
+            spec.victimPolicy = v;
+            auto outcome = runner.run(spec);
+            row.push_back(outcome.result.l1MissRate() * 100.0 + 1e-9);
+        }
+        table.addRow(p->name, p->suite, row);
+    }
+
+    bench::finish(table, args, /*per_app=*/false);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 15: persist-path bandwidth sensitivity (4 / 2 / 1 GB/s). Paper
+ * result: lower bandwidth fills the front-end buffer faster, exerting
+ * back-pressure on the store buffer and stalling the pipeline.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Fig 15: LightWSP slowdown per persist-path bandwidth");
+    table.addColumn("4GB/s");
+    table.addColumn("2GB/s");
+    table.addColumn("1GB/s");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        std::vector<double> row;
+        for (double gbps : {4.0, 2.0, 1.0}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = core::Scheme::LightWsp;
+            spec.persistPathGBps = gbps;
+            row.push_back(runner.slowdownVsBaseline(spec));
+        }
+        table.addRow(p->name, p->suite, row);
+    }
+
+    bench::finish(table, args, /*per_app=*/false);
+    return 0;
+}

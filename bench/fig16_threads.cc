@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 16: thread-count scaling (8 / 16 / 32 / 64 threads on 8 cores,
+ * fixed 64-entry WPQ) for the multi-threaded suites. Paper result:
+ * overhead grows with thread count from shared-WPQ contention; the
+ * overflow (deadlock-fallback) rate stays low (1.9 per 10k instructions
+ * at 64 threads) and shrinks ~5x with a 256-entry WPQ.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table(
+        "Fig 16: LightWSP slowdown per thread count (multi-threaded "
+        "suites)");
+    table.addColumn("8t");
+    table.addColumn("16t");
+    table.addColumn("32t");
+    table.addColumn("64t");
+
+    harness::ResultTable overflow(
+        "Fig 16b: WPQ overflow events per 10k instructions (64t, "
+        "WPQ 64 vs 256)");
+    overflow.addColumn("wpq-64");
+    overflow.addColumn("wpq-256");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        if (p->threads < 2)
+            continue;
+        std::vector<double> row;
+        for (unsigned t : {8u, 16u, 32u, 64u}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = core::Scheme::LightWsp;
+            spec.threads = t;
+            row.push_back(runner.slowdownVsBaseline(spec));
+        }
+        table.addRow(p->name, p->suite, row);
+
+        std::vector<double> orow;
+        for (unsigned wpq : {64u, 256u}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = core::Scheme::LightWsp;
+            spec.threads = 64;
+            spec.wpqEntries = wpq;
+            auto outcome = runner.run(spec);
+            double per10k =
+                outcome.result.instsRetired
+                    ? 1e4 *
+                          static_cast<double>(
+                              outcome.result.wpqFallbackFlushes) /
+                          static_cast<double>(outcome.result.instsRetired)
+                    : 0.0;
+            orow.push_back(per10k);
+        }
+        overflow.addRow(p->name, p->suite, orow);
+    }
+
+    bench::finish(table, args, /*per_app=*/false);
+    std::cout << '\n';
+    overflow.printSuiteSummary(std::cout);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrate itself: cache
+ * accesses, WPQ operations, the interpreter, the compiler pipeline and a
+ * whole-system cycle. These guard the simulator's own performance (full
+ * figure sweeps run hundreds of system simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "compiler/compiler.hh"
+#include "core/system.hh"
+#include "mem/cache.hh"
+#include "mem/wpq.hh"
+#include "workloads/generator.hh"
+
+using namespace lwsp;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    mem::Cache cache("bm.l1", cfg);
+    Rng rng(42);
+    for (auto _ : state) {
+        Addr addr = (rng.next() & 0xfffff8u);
+        benchmark::DoNotOptimize(cache.access(addr, (addr & 64) != 0));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_WpqPushPop(benchmark::State &state)
+{
+    mem::Wpq wpq(64);
+    mem::PersistEntry e;
+    e.region = 1;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        e.addr = (i++ % 64) * 8;
+        wpq.push(e);
+        benchmark::DoNotOptimize(wpq.popRegion(1));
+    }
+}
+BENCHMARK(BM_WpqPushPop);
+
+void
+BM_WpqCamSearch(benchmark::State &state)
+{
+    mem::Wpq wpq(64);
+    for (unsigned i = 0; i < 64; ++i) {
+        mem::PersistEntry e;
+        e.addr = i * 8;
+        e.region = 1;
+        wpq.push(e);
+    }
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(wpq.search((i++ % 128) * 8));
+}
+BENCHMARK(BM_WpqCamSearch);
+
+void
+BM_CompileWorkload(benchmark::State &state)
+{
+    setLogQuiet(true);
+    for (auto _ : state) {
+        auto w = workloads::generateByName("xz");
+        compiler::LightWspCompiler comp;
+        auto prog = comp.compile(std::move(w.module));
+        benchmark::DoNotOptimize(prog.stats.boundaries);
+    }
+}
+BENCHMARK(BM_CompileWorkload);
+
+void
+BM_SystemKiloCycles(benchmark::State &state)
+{
+    setLogQuiet(true);
+    auto w = workloads::generateByName("hmmer");
+    compiler::LightWspCompiler comp;
+    auto prog = comp.compile(std::move(w.module));
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.applySchemeDefaults();
+    for (auto _ : state) {
+        state.PauseTiming();
+        core::System sys(cfg, prog, 1);
+        state.ResumeTiming();
+        // Advance exactly 1000 cycles of full-system simulation.
+        auto r = sys.runWithPowerFailure(1000);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_SystemKiloCycles);
+
+} // namespace
+
+BENCHMARK_MAIN();

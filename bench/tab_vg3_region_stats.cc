@@ -1,0 +1,49 @@
+/**
+ * @file
+ * §V-G3: instruction-count and region statistics. Paper results: 7.03%
+ * more dynamic instructions than the baseline (checkpoint stores +
+ * boundaries), 91.33 instructions and 11.29 stores per dynamic region on
+ * average.
+ */
+
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+    harness::Runner runner;
+
+    harness::ResultTable table("§V-G3: instruction & region statistics");
+    table.addColumn("inst-ovh%");
+    table.addColumn("insts/region");
+    table.addColumn("stores/region");
+    table.addColumn("ckpt-pruned");
+
+    for (const auto *p : bench::selectedProfiles(args)) {
+        harness::RunSpec base;
+        base.workload = p->name;
+        base.scheme = core::Scheme::Baseline;
+        auto b = runner.run(base);
+
+        harness::RunSpec spec;
+        spec.workload = p->name;
+        spec.scheme = core::Scheme::LightWsp;
+        auto o = runner.run(spec);
+
+        double ovh = 100.0 *
+                     (static_cast<double>(o.result.instsRetired) /
+                          static_cast<double>(b.result.instsRetired) -
+                      1.0);
+        table.addRow(p->name, p->suite,
+                     {std::max(ovh, 1e-6), o.result.avgRegionInsts,
+                      std::max(o.result.avgRegionStores, 1e-6),
+                      static_cast<double>(
+                          o.compileStats.prunedCheckpoints) + 1e-6});
+    }
+
+    bench::finish(table, args);
+    return 0;
+}

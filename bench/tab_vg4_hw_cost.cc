@@ -1,0 +1,36 @@
+/**
+ * @file
+ * §V-G4: hardware-cost analysis. Paper result: LightWSP needs 0.5 B per
+ * core (two 2B flush-ID registers across 8 cores; the FEB reuses the
+ * existing 1KB write-combining buffer and the 512B WPQ matches commodity
+ * iMCs), vs 337 B/core for PPA's store-integrity support and 54 KB/core
+ * for Capri's logging buffers.
+ */
+
+#include <cstdio>
+
+#include "baselines/baselines.hh"
+#include "bench_util.hh"
+
+using namespace lwsp;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+    core::SystemConfig cfg;
+    cfg.applySchemeDefaults();
+
+    std::printf("== §V-G4: per-core hardware cost of persistence support "
+                "==\n");
+    std::printf("%-12s %14s   %s\n", "scheme", "bytes/core", "breakdown");
+    for (core::Scheme s : {core::Scheme::LightWsp, core::Scheme::Cwsp,
+                           core::Scheme::Ppa, core::Scheme::Capri}) {
+        auto hc = baselines::hardwareCost(s, cfg);
+        std::printf("%-12s %14.1f   %s\n", core::schemeName(s),
+                    hc.bytesPerCore, hc.breakdown.c_str());
+    }
+    std::printf("paper reference: LightWSP 0.5B, PPA 337B, Capri 54KB per "
+                "core\n");
+    return 0;
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Command-line front end to the library — the tool a downstream user
+ * reaches for first:
+ *
+ *   lwsp_cli list                       # the paper-app workload roster
+ *   lwsp_cli compile <app|file.lir>     # dump compiled LightIR + stats
+ *   lwsp_cli run <app> [scheme]         # simulate and print run stats
+ *   lwsp_cli crash <app> <fraction>     # crash + recover + verify
+ *
+ * Schemes: baseline psp-ideal lightwsp naive-sfence ppa capri cwsp.
+ * `<file.lir>` is the textual LightIR format (see ir/text_io.hh).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "compiler/compiler.hh"
+#include "core/system.hh"
+#include "harness/runner.hh"
+#include "ir/text_io.hh"
+#include "workloads/generator.hh"
+
+using namespace lwsp;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: lwsp_cli list\n"
+                 "       lwsp_cli compile <app|file.lir>\n"
+                 "       lwsp_cli run <app> [scheme]\n"
+                 "       lwsp_cli crash <app> <fraction 0..1>\n");
+    return 2;
+}
+
+core::Scheme
+schemeFromName(const std::string &name)
+{
+    for (core::Scheme s :
+         {core::Scheme::Baseline, core::Scheme::PspIdeal,
+          core::Scheme::LightWsp, core::Scheme::NaiveSfence,
+          core::Scheme::Ppa, core::Scheme::Capri, core::Scheme::Cwsp}) {
+        if (name == core::schemeName(s))
+            return s;
+    }
+    fatal("unknown scheme '", name, "'");
+}
+
+std::unique_ptr<ir::Module>
+loadModule(const std::string &what)
+{
+    if (what.size() > 4 &&
+        what.substr(what.size() - 4) == ".lir") {
+        std::ifstream in(what);
+        if (!in)
+            fatal("cannot open ", what);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ir::parseModule(ss.str());
+    }
+    return workloads::generateByName(what).module;
+}
+
+int
+cmdList()
+{
+    std::printf("%-12s %-9s %8s %12s %10s\n", "app", "suite", "threads",
+                "footprint", "pattern");
+    for (const auto &p : workloads::paperProfiles()) {
+        const char *pat =
+            p.phases[0].pattern == workloads::PhaseSpec::Pattern::Random
+                ? "random"
+            : p.phases[0].pattern ==
+                      workloads::PhaseSpec::Pattern::Pointer
+                ? "pointer"
+                : "sequential";
+        std::printf("%-12s %-9s %8u %10zuKB %10s\n", p.name.c_str(),
+                    p.suite.c_str(), p.threads, p.footprintBytes / 1024,
+                    pat);
+    }
+    return 0;
+}
+
+int
+cmdCompile(const std::string &what)
+{
+    auto m = loadModule(what);
+    compiler::LightWspCompiler comp;
+    auto prog = comp.compile(std::move(m));
+    ir::printModule(*prog.module, std::cout);
+    std::fprintf(stderr,
+                 "\n; boundaries=%zu ckpt-stores=%zu pruned=%zu "
+                 "insts %zu -> %zu (fixpoint %zu iters, %zu loops "
+                 "unrolled)\n",
+                 prog.stats.boundaries, prog.stats.checkpointStores,
+                 prog.stats.prunedCheckpoints, prog.stats.inputInsts,
+                 prog.stats.outputInsts, prog.stats.fixpointIterations,
+                 prog.stats.unrolledLoops);
+    for (const auto &site : prog.sites) {
+        if (site.recipes.empty())
+            continue;
+        std::fprintf(stderr, "; site %u recipes:", site.id);
+        for (const auto &r : site.recipes)
+            std::fprintf(stderr, " r%u=const(%lld)", r.reg,
+                         static_cast<long long>(r.imm));
+        std::fprintf(stderr, "\n");
+    }
+    return 0;
+}
+
+int
+cmdRun(const std::string &app, const std::string &scheme_name)
+{
+    harness::Runner runner;
+    harness::RunSpec spec;
+    spec.workload = app;
+    spec.scheme = schemeFromName(scheme_name);
+    auto o = runner.run(spec);
+    const auto &r = o.result;
+    std::printf("scheme        %s\n", scheme_name.c_str());
+    std::printf("threads       %u\n", o.threads);
+    std::printf("cycles        %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("instructions  %llu (IPC %.2f)\n",
+                static_cast<unsigned long long>(r.instsRetired), r.ipc);
+    std::printf("stores        %llu\n",
+                static_cast<unsigned long long>(r.storesRetired));
+    std::printf("regions       %llu (avg %.1f insts, %.1f stores)\n",
+                static_cast<unsigned long long>(r.boundaries),
+                r.avgRegionInsts, r.avgRegionStores);
+    std::printf("l1 miss rate  %.2f%%\n", 100.0 * r.l1MissRate());
+    std::printf("wpq flushed   %llu entries (max occupancy %zu, "
+                "%llu fallback)\n",
+                static_cast<unsigned long long>(r.wpqFlushedEntries),
+                r.maxWpqOccupancy,
+                static_cast<unsigned long long>(r.wpqFallbackFlushes));
+    std::printf("stall cycles  boundary=%llu sbFull=%llu febFull=%llu "
+                "lock=%llu\n",
+                static_cast<unsigned long long>(r.boundaryWaitCycles),
+                static_cast<unsigned long long>(r.sbFullCycles),
+                static_cast<unsigned long long>(r.febFullCycles),
+                static_cast<unsigned long long>(r.lockBlockedCycles));
+    if (spec.scheme != core::Scheme::Baseline) {
+        double slow = runner.slowdownVsBaseline(spec);
+        std::printf("slowdown      %.3fx vs baseline\n", slow);
+    }
+    return 0;
+}
+
+int
+cmdCrash(const std::string &app, double fraction)
+{
+    const auto &profile = workloads::profileByName(app);
+    auto w = workloads::generate(profile);
+    auto lock_addrs = w.lockAddrs;
+    compiler::LightWspCompiler comp;
+    auto prog = comp.compile(std::move(w.module));
+
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.applySchemeDefaults();
+
+    core::System golden(cfg, prog, profile.threads);
+    auto gr = golden.run();
+
+    core::System victim(cfg, prog, profile.threads);
+    auto vr = victim.runWithPowerFailure(
+        static_cast<Tick>(fraction * static_cast<double>(gr.cycles)));
+    if (vr.completed) {
+        std::printf("program finished before the failure point\n");
+        return 0;
+    }
+    std::printf("crashed at cycle %llu; recovering...\n",
+                static_cast<unsigned long long>(vr.cycles));
+    auto rec = core::System::recover(cfg, prog, profile.threads,
+                                     victim.pmImage(), lock_addrs);
+    auto rr = rec->run();
+    Addr lo = workloads::Workload::heapBase;
+    Addr hi = lo + static_cast<Addr>(profile.threads) *
+                       profile.footprintBytes;
+    bool ok = rr.completed &&
+              rec->pmImage().diffInRange(golden.pmImage(), lo, hi)
+                  .empty();
+    std::printf("recovery %s: application state %s the crash-free run\n",
+                rr.completed ? "completed" : "DID NOT COMPLETE",
+                ok ? "matches" : "DIFFERS from");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "compile" && argc == 3)
+            return cmdCompile(argv[2]);
+        if (cmd == "run" && (argc == 3 || argc == 4))
+            return cmdRun(argv[2], argc == 4 ? argv[3] : "lightwsp");
+        if (cmd == "crash" && argc == 4)
+            return cmdCrash(argv[2], std::atof(argv[3]));
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,81 @@
+#include "baselines.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace lwsp {
+namespace baselines {
+
+HardwareCost
+hardwareCost(core::Scheme scheme, const core::SystemConfig &cfg)
+{
+    HardwareCost hc;
+    std::ostringstream os;
+    const double cores = cfg.numCores;
+
+    switch (scheme) {
+      case core::Scheme::LightWsp: {
+        // FEB (512B default) fits in Intel's existing 1KB write-combining
+        // buffer; the WPQ matches the commodity iMC's 512B. The only new
+        // state is a 2B flush-ID register per MC.
+        double feb_bytes = static_cast<double>(cfg.core.febEntries) *
+                           persistGranuleBytes;
+        double wpq_bytes = static_cast<double>(cfg.mc.wpqEntries) *
+                           persistGranuleBytes;
+        double new_bytes = 2.0 * cfg.numMcs;  // flush-ID registers
+        hc.bytesPerCore = new_bytes / cores;
+        os << "FEB " << feb_bytes << "B (covered by 1KB WCB), WPQ "
+           << wpq_bytes << "B (commodity iMC), flush-ID 2B x "
+           << cfg.numMcs << " MCs => " << hc.bytesPerCore << "B/core";
+        break;
+      }
+      case core::Scheme::Ppa:
+        // Store-integrity bookkeeping in rename + PRF pinning metadata
+        // (paper-reported figure).
+        hc.bytesPerCore = 337.0;
+        os << "store-integrity tracking in rename/PRF: 337B/core";
+        break;
+      case core::Scheme::Capri:
+        // Front-end + back-end buffers holding undo and redo logs plus
+        // data per entry (paper-reported figure).
+        hc.bytesPerCore = 54.0 * 1024.0;
+        os << "front/back-end undo+redo log buffers: 54KB/core";
+        break;
+      case core::Scheme::Cwsp:
+        // Epoch tracking in cores + undo-logging acceleration in MCs.
+        hc.bytesPerCore = 96.0;
+        os << "core/MC speculation state + undo acceleration: ~96B/core";
+        break;
+      default:
+        os << "no persistence hardware";
+        break;
+    }
+    hc.breakdown = os.str();
+    return hc;
+}
+
+double
+camSearchLatencyNs(unsigned entries, unsigned granuleBytes)
+{
+    // Calibrated to CACTI 7 at 22nm: 64 entries x 8B => 0.99ns. CAM
+    // match time grows ~logarithmically with the number of entries and
+    // weakly with word width.
+    double base = 0.99;
+    double entry_scale =
+        std::log2(static_cast<double>(entries)) / std::log2(64.0);
+    double width_scale =
+        1.0 + 0.05 * (std::log2(static_cast<double>(granuleBytes)) -
+                      std::log2(8.0));
+    return base * entry_scale * width_scale;
+}
+
+unsigned
+camSearchLatencyCycles(unsigned entries, unsigned granuleBytes,
+                       double ghz)
+{
+    return static_cast<unsigned>(
+        nsToCycles(camSearchLatencyNs(entries, granuleBytes), ghz));
+}
+
+} // namespace baselines
+} // namespace lwsp

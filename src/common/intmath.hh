@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small integer/bit-manipulation helpers used across the memory system.
+ */
+
+#ifndef LWSP_COMMON_INTMATH_HH
+#define LWSP_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace lwsp {
+
+/** @return true iff @p n is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** @return floor(log2(n)); panics on 0. */
+inline unsigned
+floorLog2(std::uint64_t n)
+{
+    LWSP_ASSERT(n != 0, "floorLog2(0)");
+    unsigned l = 0;
+    while (n >>= 1)
+        ++l;
+    return l;
+}
+
+/** @return ceil(log2(n)); panics on 0. */
+inline unsigned
+ceilLog2(std::uint64_t n)
+{
+    LWSP_ASSERT(n != 0, "ceilLog2(0)");
+    return floorLog2(n) + (isPowerOf2(n) ? 0 : 1);
+}
+
+/** @return ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** @return @p a rounded down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** @return @p a rounded up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+} // namespace lwsp
+
+#endif // LWSP_COMMON_INTMATH_HH

@@ -1,0 +1,29 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace lwsp {
+
+namespace {
+bool logQuiet = false;
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    logQuiet = quiet;
+}
+
+namespace detail {
+
+void
+emitLog(const char *level, const std::string &msg)
+{
+    bool severe = (level[0] == 'p' || level[0] == 'f');
+    if (logQuiet && !severe)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
+}
+
+} // namespace detail
+} // namespace lwsp

@@ -1,0 +1,57 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace lwsp {
+namespace stats {
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    auto line = [&](const std::string &stat, double v,
+                    const std::string &desc) {
+        os << name_ << '.' << stat << ' ' << std::setprecision(12) << v;
+        if (!desc.empty())
+            os << " # " << desc;
+        os << '\n';
+    };
+
+    for (const auto &[stat, e] : scalars_)
+        line(stat, e.stat->value(), e.desc);
+    for (const auto &[stat, e] : averages_) {
+        line(stat + ".mean", e.stat->mean(), e.desc);
+        line(stat + ".count", static_cast<double>(e.stat->count()), "");
+    }
+    for (const auto &[stat, e] : dists_) {
+        const auto &d = *e.stat;
+        line(stat + ".mean", d.summary().mean(), e.desc);
+        line(stat + ".min", d.summary().min(), "");
+        line(stat + ".max", d.summary().max(), "");
+        line(stat + ".count", static_cast<double>(d.summary().count()), "");
+    }
+}
+
+double
+StatGroup::scalarValue(const std::string &stat_name) const
+{
+    auto it = scalars_.find(stat_name);
+    if (it == scalars_.end())
+        panic("StatGroup ", name_, " has no scalar '", stat_name, "'");
+    return it->second.stat->value();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    LWSP_ASSERT(!values.empty(), "geomean of empty set");
+    double log_sum = 0;
+    for (double v : values) {
+        LWSP_ASSERT(v > 0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace stats
+} // namespace lwsp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every LightWSP module.
+ *
+ * The simulator is cycle-stepped at the core clock (2 GHz by default), so
+ * all latencies are expressed in cycles. Helpers are provided to convert
+ * nanosecond figures quoted by the paper (PM latency, persist-path latency,
+ * CAM search time) into cycles for a given clock.
+ */
+
+#ifndef LWSP_COMMON_TYPES_HH
+#define LWSP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace lwsp {
+
+/** Simulation time in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** A physical memory address (byte granular). */
+using Addr = std::uint64_t;
+
+/** Monotonically increasing recoverable-region (epoch) identifier. */
+using RegionId = std::uint64_t;
+
+/** Hardware thread / core identifier. */
+using CoreId = std::uint32_t;
+
+/** Software thread identifier (may exceed core count when oversubscribed). */
+using ThreadId = std::uint32_t;
+
+/** Memory controller identifier. */
+using McId = std::uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid region. */
+constexpr RegionId invalidRegion = std::numeric_limits<RegionId>::max();
+
+/** Sentinel address. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Persist-path and WPQ transfer granularity (bytes), per the paper. */
+constexpr unsigned persistGranuleBytes = 8;
+
+/** Cacheline size used throughout (bytes). */
+constexpr unsigned cachelineBytes = 64;
+
+/**
+ * Convert a nanosecond latency into core cycles, rounding up.
+ *
+ * @param ns latency in nanoseconds
+ * @param ghz core clock in GHz
+ * @return the smallest cycle count covering @p ns
+ */
+constexpr Tick
+nsToCycles(double ns, double ghz = 2.0)
+{
+    double cycles = ns * ghz;
+    Tick whole = static_cast<Tick>(cycles);
+    return (static_cast<double>(whole) < cycles) ? whole + 1 : whole;
+}
+
+/**
+ * Cycles between successive 8B granules for a given persist-path bandwidth.
+ *
+ * @param gbps bandwidth in GB/s
+ * @param ghz core clock in GHz
+ * @return inter-granule issue interval in cycles (min 1)
+ */
+constexpr Tick
+bandwidthToCyclesPerGranule(double gbps, double ghz = 2.0,
+                            unsigned granule = persistGranuleBytes)
+{
+    // granule bytes / (gbps bytes per ns) = ns per granule.
+    double ns = static_cast<double>(granule) / gbps;
+    Tick c = nsToCycles(ns, ghz);
+    return c == 0 ? 1 : c;
+}
+
+} // namespace lwsp
+
+#endif // LWSP_COMMON_TYPES_HH

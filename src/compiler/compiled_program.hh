@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The LightWSP compiler's output artifact.
+ *
+ * Alongside the transformed module, the compiler emits the boundary-site
+ * table used by the recovery runtime: every Boundary instruction carries a
+ * unique site id (in its imm field); the table maps that id back to a static
+ * program location and holds the checkpoint-pruning recovery recipes for
+ * registers whose checkpoint stores were elided (§IV-A "Checkpoint Pruning").
+ */
+
+#ifndef LWSP_COMPILER_COMPILED_PROGRAM_HH
+#define LWSP_COMPILER_COMPILED_PROGRAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "ir/program.hh"
+
+namespace lwsp {
+namespace compiler {
+
+/** Why a boundary exists; Split boundaries are the only merge candidates. */
+enum class BoundaryKind : std::uint8_t
+{
+    FuncEntry = 0,
+    FuncExit,
+    CallBefore,
+    CallAfter,
+    LoopHeader,
+    Sync,
+    Split,
+};
+
+const char *boundaryKindName(BoundaryKind k);
+
+/**
+ * How to reconstruct a register at recovery when its checkpoint store was
+ * pruned: either a compile-time constant or slot[src] + imm.
+ */
+struct CkptRecipe
+{
+    enum class Kind : std::uint8_t { Const, AddSlot };
+
+    ir::Reg reg = 0;       ///< register being reconstructed
+    Kind kind = Kind::Const;
+    std::int64_t imm = 0;  ///< constant, or addend for AddSlot
+    ir::Reg src = 0;       ///< source slot for AddSlot
+};
+
+/** Static location + recovery metadata of one Boundary instruction. */
+struct BoundarySite
+{
+    std::uint32_t id = 0;
+    ir::FuncId func = ir::invalidFunc;
+    ir::BlockId block = ir::invalidBlock;
+    std::uint32_t instIndex = 0;  ///< index of the Boundary in its block
+    BoundaryKind kind = BoundaryKind::Split;
+    std::vector<CkptRecipe> recipes;
+};
+
+/** Aggregate statistics reported by the compiler (feeds §V-G3). */
+struct CompileStats
+{
+    std::size_t inputInsts = 0;       ///< before transformation
+    std::size_t outputInsts = 0;      ///< after transformation
+    std::size_t boundaries = 0;
+    std::size_t checkpointStores = 0; ///< CkptStore instructions emitted
+    std::size_t prunedCheckpoints = 0;
+    std::size_t unrolledLoops = 0;
+    std::size_t fixpointIterations = 0;
+};
+
+/** Memory layout of the PM-resident checkpoint storage (§IV-A). */
+struct CheckpointLayout
+{
+    /** Base of the per-thread checkpoint array region. */
+    Addr base = 0x7000'0000'0000ull;
+    /** Stride between threads' checkpoint arrays. */
+    Addr threadStride = 4096;
+
+    /** Slot address of register @p r for thread @p t. */
+    Addr
+    regSlot(ThreadId t, ir::Reg r) const
+    {
+        return base + static_cast<Addr>(t) * threadStride +
+               static_cast<Addr>(r) * 8;
+    }
+
+    /** Slot address of the checkpointed PC (boundary site id). */
+    Addr
+    pcSlot(ThreadId t) const
+    {
+        return base + static_cast<Addr>(t) * threadStride +
+               static_cast<Addr>(ir::numGprs) * 8;
+    }
+};
+
+/** The complete compiler output. */
+struct CompiledProgram
+{
+    std::unique_ptr<ir::Module> module;
+    std::vector<BoundarySite> sites;  ///< indexed by boundary id
+    CheckpointLayout layout;
+    CompileStats stats;
+
+    const BoundarySite &
+    site(std::uint32_t id) const
+    {
+        LWSP_ASSERT(id < sites.size(), "bad boundary site id ", id);
+        return sites[id];
+    }
+};
+
+} // namespace compiler
+} // namespace lwsp
+
+#endif // LWSP_COMPILER_COMPILED_PROGRAM_HH

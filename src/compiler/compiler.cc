@@ -1,0 +1,92 @@
+#include "compiler.hh"
+
+#include "compiler/passes.hh"
+#include "ir/verifier.hh"
+
+namespace lwsp {
+namespace compiler {
+
+using namespace ir;
+
+CompiledProgram
+LightWspCompiler::compile(std::unique_ptr<Module> input) const
+{
+    LWSP_ASSERT(input, "compile(nullptr)");
+    verifyModuleOrDie(*input);
+
+    CompiledProgram out;
+    out.stats.inputInsts = input->instCount();
+    out.module = std::move(input);
+    Module &m = *out.module;
+
+    for (FuncId f = 0; f < m.numFunctions(); ++f)
+        out.stats.unrolledLoops += unrollLoops(m.function(f), cfg_);
+
+    for (FuncId f = 0; f < m.numFunctions(); ++f)
+        insertInitialBoundaries(m.function(f));
+
+    // First enforce the cap on the raw program, then break the
+    // boundary/checkpoint circular dependence: each iteration re-derives
+    // the checkpoint stores for the current boundaries and, if they push
+    // a region over the threshold, splits *with the checkpoint stores in
+    // place* (they count as persist entries) before re-deriving.
+    for (FuncId f = 0; f < m.numFunctions(); ++f)
+        enforceStoreThreshold(m.function(f), cfg_);
+    for (FuncId f = 0; f < m.numFunctions(); ++f)
+        combineRegions(m.function(f), cfg_);
+
+    for (unsigned iter = 0; iter < cfg_.maxFixpointIterations; ++iter) {
+        ++out.stats.fixpointIterations;
+        for (FuncId f = 0; f < m.numFunctions(); ++f)
+            stripCheckpointStores(m.function(f));
+
+        if (cfg_.insertCheckpointStores) {
+            out.stats.prunedCheckpoints = 0;
+            out.stats.checkpointStores = insertCheckpoints(
+                m, cfg_.pruneCheckpoints, &out.stats.prunedCheckpoints);
+        }
+
+        bool violated = false;
+        for (FuncId f = 0; f < m.numFunctions(); ++f)
+            violated = hasThresholdViolation(m.function(f), cfg_) ||
+                       violated;
+        if (!violated)
+            break;
+
+        for (FuncId f = 0; f < m.numFunctions(); ++f)
+            enforceStoreThreshold(m.function(f), cfg_);
+        if (iter + 1 == cfg_.maxFixpointIterations) {
+            warn("region threshold fixpoint did not converge; runtime "
+                 "WPQ-overflow fallback will cover the residue");
+        }
+    }
+
+    for (FuncId f = 0; f < m.numFunctions(); ++f)
+        splitBlocksAtBoundaries(m.function(f));
+
+    std::map<std::pair<FuncId, BlockId>, std::vector<CkptRecipe>> recipes;
+    if (cfg_.insertCheckpointStores)
+        recipes = computeConstRecipes(m);
+
+    out.sites = assignBoundarySites(m, recipes);
+    out.stats.boundaries = out.sites.size();
+    out.stats.outputInsts = m.instCount();
+
+    verifyModuleOrDie(m);
+    return out;
+}
+
+CompiledProgram
+makeUncompiled(std::unique_ptr<Module> m)
+{
+    LWSP_ASSERT(m, "makeUncompiled(nullptr)");
+    verifyModuleOrDie(*m);
+    CompiledProgram out;
+    out.stats.inputInsts = m->instCount();
+    out.stats.outputInsts = out.stats.inputInsts;
+    out.module = std::move(m);
+    return out;
+}
+
+} // namespace compiler
+} // namespace lwsp

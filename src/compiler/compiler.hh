@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The LightWSP compiler facade: runs the full pass pipeline of paper
+ * §IV-A over a LightIR module and produces a CompiledProgram ready for the
+ * simulator and the recovery runtime.
+ */
+
+#ifndef LWSP_COMPILER_COMPILER_HH
+#define LWSP_COMPILER_COMPILER_HH
+
+#include <memory>
+
+#include "compiler/compiled_program.hh"
+#include "compiler/config.hh"
+#include "ir/program.hh"
+
+namespace lwsp {
+namespace compiler {
+
+class LightWspCompiler
+{
+  public:
+    explicit LightWspCompiler(CompilerConfig cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Compile (consume) @p input: partition into recoverable regions with
+     * live-out registers checkpointed, enforce the per-region store cap,
+     * and emit the boundary-site table for recovery.
+     */
+    CompiledProgram compile(std::unique_ptr<ir::Module> input) const;
+
+    const CompilerConfig &config() const { return cfg_; }
+
+  private:
+    CompilerConfig cfg_;
+};
+
+/**
+ * Wrap an unmodified module as a CompiledProgram (no boundaries, no
+ * checkpoints) — the "original binary" the baseline and the pure-hardware
+ * schemes (PPA, Capri) execute.
+ */
+CompiledProgram makeUncompiled(std::unique_ptr<ir::Module> m);
+
+} // namespace compiler
+} // namespace lwsp
+
+#endif // LWSP_COMPILER_COMPILER_HH

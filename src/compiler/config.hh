@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tunables of the LightWSP compiler (paper §IV-A).
+ */
+
+#ifndef LWSP_COMPILER_CONFIG_HH
+#define LWSP_COMPILER_CONFIG_HH
+
+#include <cstdint>
+
+namespace lwsp {
+namespace compiler {
+
+struct CompilerConfig
+{
+    /**
+     * Maximum persist-path entries (data stores + checkpoint stores + the
+     * boundary PC-store) any region may produce. The paper's default is
+     * half the WPQ size: 32 for the 64-entry WPQ.
+     */
+    unsigned storeThreshold = 32;
+
+    /** Enable region-size extension via (speculative) loop unrolling. */
+    bool unrollLoops = true;
+
+    /** Upper bound on the unroll factor. */
+    unsigned maxUnrollFactor = 4;
+
+    /** Enable checkpoint pruning (reconstructable live-outs, §IV-A). */
+    bool pruneCheckpoints = true;
+
+    /**
+     * Insert live-out checkpoint stores at boundaries. Disabled by the
+     * cWSP baseline model, whose idempotent regions recover by
+     * re-execution instead of register restoration.
+     */
+    bool insertCheckpointStores = true;
+
+    /** Enable the region-combining pass (merging small regions). */
+    bool combineRegions = true;
+
+    /**
+     * Iteration cap for the combining/repartitioning fixpoint that breaks
+     * the circular dependence between boundary placement and checkpoint
+     * insertion.
+     */
+    unsigned maxFixpointIterations = 8;
+};
+
+} // namespace compiler
+} // namespace lwsp
+
+#endif // LWSP_COMPILER_CONFIG_HH

@@ -1,0 +1,167 @@
+#include "constprop.hh"
+
+#include "ir/cfg.hh"
+
+namespace lwsp {
+namespace compiler {
+
+using namespace ir;
+
+void
+ConstProp::transfer(const Instruction &inst, State &state) const
+{
+    auto kill = [&](Reg r) { state[r] = Value::nonConst(); };
+
+    switch (inst.op) {
+      case Opcode::Movi:
+        state[inst.rd] = Value::makeConst(inst.imm);
+        break;
+      case Opcode::Mov:
+        state[inst.rd] = state[inst.rs1];
+        break;
+      case Opcode::AddI:
+        state[inst.rd] =
+            state[inst.rs1].isConst()
+                ? Value::makeConst(state[inst.rs1].constant + inst.imm)
+                : Value::nonConst();
+        break;
+      case Opcode::MulI:
+        state[inst.rd] =
+            state[inst.rs1].isConst()
+                ? Value::makeConst(state[inst.rs1].constant * inst.imm)
+                : Value::nonConst();
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Mul:
+      case Opcode::Div: {
+        const Value &a = state[inst.rs1];
+        const Value &b = state[inst.rs2];
+        if (a.isConst() && b.isConst()) {
+            auto ua = static_cast<std::uint64_t>(a.constant);
+            auto ub = static_cast<std::uint64_t>(b.constant);
+            std::uint64_t v = 0;
+            switch (inst.op) {
+              case Opcode::Add: v = ua + ub; break;
+              case Opcode::Sub: v = ua - ub; break;
+              case Opcode::And: v = ua & ub; break;
+              case Opcode::Or:  v = ua | ub; break;
+              case Opcode::Xor: v = ua ^ ub; break;
+              case Opcode::Shl: v = ua << (ub & 63); break;
+              case Opcode::Shr: v = ua >> (ub & 63); break;
+              case Opcode::Mul: v = ua * ub; break;
+              case Opcode::Div: v = ub ? ua / ub : 0; break;
+              default: break;
+            }
+            state[inst.rd] = Value::makeConst(static_cast<std::int64_t>(v));
+        } else {
+            kill(inst.rd);
+        }
+        break;
+      }
+      case Opcode::Fma:
+      case Opcode::Load:
+        kill(inst.rd);
+        break;
+      case Opcode::Call:
+        for (Reg r = 0; r < numGprs; ++r) {
+            if (live_.funcDef(inst.callee) & regBit(r))
+                kill(r);
+        }
+        kill(spReg);
+        break;
+      case Opcode::Ret:
+        kill(spReg);
+        break;
+      default:
+        break;  // stores, branches, sync ops, boundaries: no reg defs
+    }
+}
+
+ConstProp::ConstProp(const Module &m, const ModuleLiveness &live)
+    : module_(m), live_(live), in_(m.numFunctions()),
+      funcEntry_(m.numFunctions())
+{
+    for (FuncId f = 0; f < m.numFunctions(); ++f)
+        in_[f].assign(m.function(f).numBlocks(), State{});
+
+    // The thread-spawn convention makes r0 (tid) and r15 (sp) run-time
+    // values; everything else starts as constant 0 — but to stay robust
+    // against harness-injected register state we treat the whole entry as
+    // NonConst.
+    State entry_seed;
+    for (auto &v : entry_seed)
+        v = Value::nonConst();
+    funcEntry_[0] = entry_seed;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (FuncId f = 0; f < m.numFunctions(); ++f) {
+            const Function &fn = m.function(f);
+            Cfg cfg(fn);
+            for (BlockId b : cfg.reversePostOrder()) {
+                State in;
+                if (b == 0) {
+                    in = funcEntry_[f];
+                } else {
+                    for (BlockId p : cfg.predecessors(b)) {
+                        if (!cfg.reachable(p))
+                            continue;
+                        // Recompute the predecessor's out state.
+                        State pout = in_[f][p];
+                        for (const auto &inst : fn.block(p).insts()) {
+                            // Calls transfer into the callee; the state
+                            // after the call is handled by transfer().
+                            transfer(inst, pout);
+                        }
+                        for (Reg r = 0; r < numGprs; ++r)
+                            in[r] = Value::meet(in[r], pout[r]);
+                    }
+                }
+                if (!(in == in_[f][b])) {
+                    in_[f][b] = in;
+                    changed = true;
+                }
+
+                // Propagate callsite states into callee entries.
+                State walk = in_[f][b];
+                for (const auto &inst : fn.block(b).insts()) {
+                    if (inst.op == Opcode::Call) {
+                        State callee_in = walk;
+                        callee_in[spReg] = Value::nonConst();
+                        State &tgt = funcEntry_[inst.callee];
+                        State merged;
+                        for (Reg r = 0; r < numGprs; ++r)
+                            merged[r] =
+                                Value::meet(tgt[r], callee_in[r]);
+                        if (!(merged == tgt)) {
+                            tgt = merged;
+                            changed = true;
+                        }
+                    }
+                    transfer(inst, walk);
+                }
+            }
+        }
+    }
+}
+
+ConstProp::State
+ConstProp::stateBefore(FuncId f, BlockId b, std::size_t idx) const
+{
+    State s = in_.at(f).at(b);
+    const auto &insts = module_.function(f).block(b).insts();
+    LWSP_ASSERT(idx <= insts.size(), "stateBefore: bad index");
+    for (std::size_t i = 0; i < idx; ++i)
+        transfer(insts[i], s);
+    return s;
+}
+
+} // namespace compiler
+} // namespace lwsp

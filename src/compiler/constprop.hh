@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Interprocedural constant propagation over LightIR registers.
+ *
+ * Backs checkpoint pruning (§IV-A): a register whose value is a known
+ * compile-time constant at a boundary needs no checkpoint store — the
+ * recovery runtime reconstructs it from a Const recipe attached to the
+ * boundary site. Crucially, the recipe must be valid at *every* boundary
+ * where the register may be live at recovery time, which is exactly what
+ * a sound ("all paths agree") constant analysis guarantees: if r == v at
+ * one boundary and r is not redefined before the next, it is still == v
+ * there, and the analysis will report it.
+ *
+ * The lattice per register is Bottom (unvisited) < Const(v) < NonConst.
+ * Movi introduces constants; Mov copies; AddI/MulI fold; every other
+ * definition (including call-clobbered registers and the stack pointer
+ * around calls) goes to NonConst. Callee entry states are the meet over
+ * all callsites.
+ */
+
+#ifndef LWSP_COMPILER_CONSTPROP_HH
+#define LWSP_COMPILER_CONSTPROP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "compiler/liveness.hh"
+#include "ir/program.hh"
+
+namespace lwsp {
+namespace compiler {
+
+class ConstProp
+{
+  public:
+    struct Value
+    {
+        enum class Kind : std::uint8_t { Bottom, Const, NonConst };
+        Kind kind = Kind::Bottom;
+        std::int64_t constant = 0;
+
+        bool isConst() const { return kind == Kind::Const; }
+
+        static Value
+        makeConst(std::int64_t v)
+        {
+            return {Kind::Const, v};
+        }
+        static Value nonConst() { return {Kind::NonConst, 0}; }
+
+        /** Lattice meet. */
+        static Value
+        meet(const Value &a, const Value &b)
+        {
+            if (a.kind == Kind::Bottom)
+                return b;
+            if (b.kind == Kind::Bottom)
+                return a;
+            if (a.kind == Kind::Const && b.kind == Kind::Const &&
+                a.constant == b.constant) {
+                return a;
+            }
+            return nonConst();
+        }
+
+        bool
+        operator==(const Value &o) const
+        {
+            return kind == o.kind &&
+                   (kind != Kind::Const || constant == o.constant);
+        }
+    };
+
+    using State = std::array<Value, ir::numGprs>;
+
+    /**
+     * Run the whole-module fixpoint. @p live supplies funcDef summaries
+     * for call clobbering.
+     */
+    ConstProp(const ir::Module &m, const ModuleLiveness &live);
+
+    /** Register states at the entry of block @p b of function @p f. */
+    const State &blockIn(ir::FuncId f, ir::BlockId b) const
+    {
+        return in_.at(f).at(b);
+    }
+
+    /**
+     * Apply one instruction's transfer to @p state (public so checkpoint
+     * insertion can walk a block maintaining the same abstraction).
+     */
+    void transfer(const ir::Instruction &inst, State &state) const;
+
+    /** State just before instruction @p idx of block (f, b). */
+    State stateBefore(ir::FuncId f, ir::BlockId b, std::size_t idx) const;
+
+  private:
+    const ir::Module &module_;
+    const ModuleLiveness &live_;
+    std::vector<std::vector<State>> in_;
+    std::vector<State> funcEntry_;
+};
+
+} // namespace compiler
+} // namespace lwsp
+
+#endif // LWSP_COMPILER_CONSTPROP_HH

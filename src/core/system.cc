@@ -1,0 +1,489 @@
+#include "system.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lwsp {
+namespace core {
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Baseline: return "baseline";
+      case Scheme::PspIdeal: return "psp-ideal";
+      case Scheme::LightWsp: return "lightwsp";
+      case Scheme::NaiveSfence: return "naive-sfence";
+      case Scheme::Ppa: return "ppa";
+      case Scheme::Capri: return "capri";
+      case Scheme::Cwsp: return "cwsp";
+    }
+    return "<bad>";
+}
+
+System::System(const SystemConfig &cfg,
+               const compiler::CompiledProgram &program,
+               unsigned num_threads)
+    : cfg_(cfg), program_(program),
+      noc_(cfg.numMcs, cfg.nocHopLatency)
+{
+    LWSP_ASSERT(num_threads >= 1, "need at least one thread");
+
+    // Initial data into both images; PC slots start at the no-site
+    // sentinel so recovery can tell "never persisted a boundary" from
+    // boundary site 0.
+    for (const auto &[addr, value] : program.module->initialData()) {
+        execMem_.write(addr, value);
+        pm_.write(addr, value);
+    }
+    for (ThreadId t = 0; t < num_threads; ++t) {
+        execMem_.write(program.layout.pcSlot(t), noSiteSentinel);
+        pm_.write(program.layout.pcSlot(t), noSiteSentinel);
+    }
+
+    std::vector<mem::McEndpoint *> endpoints;
+    for (McId m = 0; m < cfg_.numMcs; ++m) {
+        mcs_.push_back(std::make_unique<mem::MemController>(
+            m, cfg_.mc, pm_, noc_));
+        endpoints.push_back(mcs_.back().get());
+    }
+    noc_.attach(std::move(endpoints));
+
+    l2_ = std::make_unique<mem::Cache>("l2", cfg_.l2);
+
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        l1d_.push_back(std::make_unique<mem::Cache>(
+            "core" + std::to_string(c) + ".l1d", cfg_.l1d));
+        cores_.push_back(
+            std::make_unique<cpu::Core>(c, cfg_.core, *this));
+        // Buffer snooping (§IV-G): dirty L1 victims whose line still
+        // sits in this core's front-end buffer cannot be evicted.
+        cpu::Core *core = cores_.back().get();
+        l1d_.back()->setEvictionFilter(
+            cfg_.victimPolicy,
+            [core](Addr line) { return !core->febContainsLine(line); });
+    }
+
+    for (ThreadId t = 0; t < num_threads; ++t) {
+        threads_.push_back(std::make_unique<cpu::ThreadContext>(
+            program_, t, execMem_, locks_, regionAlloc_));
+        threads_.back()->reset(0);
+    }
+
+    runQueues_.resize(cfg_.numCores);
+    runIndex_.assign(cfg_.numCores, 0);
+    for (ThreadId t = 0; t < num_threads; ++t)
+        runQueues_[t % cfg_.numCores].push_back(t);
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        if (!runQueues_[c].empty())
+            cores_[c]->setThread(threads_[runQueues_[c][0]].get());
+    }
+
+    for (auto &core : cores_)
+        sim_.add(core.get());
+    sim_.add(&noc_);
+    for (auto &mc : mcs_)
+        sim_.add(mc.get());
+}
+
+McId
+System::mcForAddr(Addr addr) const
+{
+    return static_cast<McId>((addr / cachelineBytes) % cfg_.numMcs);
+}
+
+bool
+System::done() const
+{
+    for (const auto &t : threads_) {
+        if (!t->halted())
+            return false;
+    }
+    for (const auto &c : cores_) {
+        if (!c->drained())
+            return false;
+    }
+    for (const auto &m : mcs_) {
+        if (!m->wpq().empty())
+            return false;
+    }
+    return true;
+}
+
+void
+System::scheduleThreads(Tick now)
+{
+    if (now < nextScheduleCheck_)
+        return;
+    nextScheduleCheck_ = now + 256;
+
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        auto &queue = runQueues_[c];
+        if (queue.size() < 2)
+            continue;
+        cpu::Core &core = *cores_[c];
+        cpu::ThreadContext *cur = core.thread();
+
+        bool quantum_over = (now % cfg_.ctxQuantum) < 256;
+        bool should_switch = cur == nullptr || cur->halted() ||
+                             core.lockBlocked() || quantum_over;
+        if (!should_switch)
+            continue;
+
+        // Next runnable (non-halted) thread in round-robin order; skip
+        // past the current thread so a blocked lock-waiter can never
+        // shadow the runnable lock holder behind it in the queue.
+        for (std::size_t step = 1; step <= queue.size(); ++step) {
+            std::size_t idx = (runIndex_[c] + step) % queue.size();
+            cpu::ThreadContext *cand = threads_[queue[idx]].get();
+            if (cand->halted() || cand == cur || cand->wouldBlock())
+                continue;
+            core.setThread(cand);
+            runIndex_[c] = idx;
+            if (std::getenv("LWSP_SCHED_TRACE")) {
+                std::fprintf(stderr, "[%llu] core%u -> thread %u\n",
+                             (unsigned long long)now, c, cand->tid());
+            }
+            // Context-switch penalty: virtualizing the region ID and
+            // flushing the pipeline (§IV-C).
+            core.applyContextSwitch(now, cfg_.ctxSwitchPenalty);
+            break;
+        }
+    }
+}
+
+void
+System::maybeEndWarmup()
+{
+    if (warmupDone_ || cfg_.warmupInsts == 0)
+        return;
+    std::uint64_t insts = 0;
+    for (const auto &c : cores_)
+        insts += c->instsRetired();
+    if (insts < cfg_.warmupInsts)
+        return;
+    warmupDone_ = true;
+    warmupCycles_ = sim_.now();
+    for (auto &c : cores_)
+        c->resetStats();
+    for (auto &l1 : l1d_)
+        l1->resetStats();
+    l2_->resetStats();
+    for (auto &mc : mcs_)
+        mc->resetStats();
+    staleLoads_ = 0;
+    staleExtraMisses_ = 0;
+}
+
+RunResult
+System::run()
+{
+    while (sim_.now() < cfg_.maxCycles) {
+        if (done())
+            return collectResult(true);
+        scheduleThreads(sim_.now());
+        maybeEndWarmup();
+        sim_.step();
+    }
+    warn("run() hit the cycle cap (possible live-lock)");
+    return collectResult(false);
+}
+
+RunResult
+System::runWithPowerFailure(Tick fail_at)
+{
+    while (sim_.now() < fail_at) {
+        if (done())
+            return collectResult(true);
+        scheduleThreads(sim_.now());
+        maybeEndWarmup();
+        sim_.step();
+    }
+    executeCrashDrain(sim_.now());
+    return collectResult(false);
+}
+
+void
+System::executeCrashDrain(Tick now)
+{
+    crashed_ = true;
+    // Step 1: in-flight MC-to-MC ACKs are guaranteed delivery by the
+    // MC-resident battery; everything on core persist paths dies.
+    noc_.deliverAllNow(now);
+    // Steps 2-5: iterate flush/ACK exchange to quiescence.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto &mc : mcs_)
+            progress = mc->crashStep(now) || progress;
+        noc_.deliverAllNow(now);
+    }
+    // Step 6: discard unpersisted entries (rolling back any undo-logged
+    // fallback overflow of a region that never became ready).
+    for (auto &mc : mcs_)
+        mc->crashFinish();
+}
+
+std::unique_ptr<System>
+System::recover(const SystemConfig &cfg,
+                const compiler::CompiledProgram &program,
+                unsigned num_threads, const mem::MemImage &pm_state,
+                const std::vector<Addr> &lock_addrs)
+{
+    auto sys = std::make_unique<System>(cfg, program, num_threads);
+
+    // Adopt the post-crash PM image as both execution and PM state.
+    sys->execMem_ = pm_state;
+    sys->pm_ = pm_state;
+
+    // Restart the dense region-ID sequence: the construction-time thread
+    // resets consumed IDs that will never be broadcast, which would gate
+    // the WPQs forever. Every ID allocated below belongs to a live
+    // thread and is broadcast at its next boundary.
+    sys->regionAlloc_ = cpu::RegionAllocator();
+
+    // Reposition every thread at its latest persisted boundary.
+    for (ThreadId t = 0; t < num_threads; ++t) {
+        std::uint64_t site = pm_state.read(program.layout.pcSlot(t));
+        cpu::ThreadContext &tc = *sys->threads_[t];
+        if (site == noSiteSentinel) {
+            tc.reset(0);  // no boundary persisted: restart from scratch
+        } else if (site == cpu::haltSite) {
+            tc.markHalted();
+        } else {
+            tc.recoverAt(static_cast<std::uint32_t>(site), pm_state);
+        }
+    }
+
+    // Rebuild lock ownership from the persisted lock words: a nonzero
+    // word means the owning thread resumed inside its critical section.
+    for (Addr lock : lock_addrs) {
+        std::uint64_t v = pm_state.read(lock);
+        if (v != 0)
+            sys->locks_.restore(lock, static_cast<ThreadId>(v - 1));
+    }
+    return sys;
+}
+
+// ---- MemPort ---------------------------------------------------------------
+
+Tick
+System::loadLatency(CoreId core_id, Addr addr, Tick now)
+{
+    mem::Cache &l1 = *l1d_.at(core_id);
+    Tick lat = l1.latency();
+    auto r1 = l1.access(addr, false);
+    if (r1.blocked) {
+        // Zero-victim snoop conflict on the fill: wait out the front-end
+        // buffer, then force the fill through.
+        lat += cfg_.core.pathLatency + 2 * cfg_.mc.drainInterval;
+        l1.setEvictionFilter(mem::VictimPolicy::None, nullptr);
+        r1 = l1.access(addr, false);
+        cpu::Core *core = cores_.at(core_id).get();
+        l1.setEvictionFilter(cfg_.victimPolicy, [core](Addr line) {
+            return !core->febContainsLine(line);
+        });
+    }
+    if (r1.hit)
+        return lat;
+
+    lat += l2_->latency();
+    auto r2 = l2_->access(addr, false);
+    if (r2.hit)
+        return lat;
+
+    auto mc_res = mcs_.at(mcForAddr(addr))->serveLoadMiss(addr, now);
+    lat += mc_res.latency;
+
+    // Stale-load accounting (§IV-G, Fig. 6/14): without buffer snooping,
+    // a fill whose line still has an unpersisted copy on some persist
+    // path returns stale data and must be refetched once the store
+    // lands — an extra miss and an extra PM round trip.
+    if (cfg_.victimPolicy == mem::VictimPolicy::None &&
+        schemeHasPersistPath(cfg_.scheme) && cfg_.mc.gatingEnabled) {
+        Addr line = alignDown(addr, cachelineBytes);
+        for (const auto &core : cores_) {
+            if (core->febContainsLine(line)) {
+                ++staleLoads_;
+                ++staleExtraMisses_;
+                lat += cfg_.mc.pmReadCycles;
+                break;
+            }
+        }
+    }
+    return lat;
+}
+
+bool
+System::storeAccess(CoreId core_id, Addr addr, Tick now)
+{
+    auto res = l1d_.at(core_id)->access(addr, true);
+    if (res.blocked)
+        return false;
+    // Ideal PSP runs PM as main memory: store lines that miss the cache
+    // hierarchy reach the PM device directly and steal read bandwidth —
+    // the write-interference half of forfeiting the DRAM cache.
+    if (cfg_.scheme == Scheme::PspIdeal && !res.hit)
+        mcs_.at(mcForAddr(addr))->pmWriteTraffic(now);
+    return true;
+}
+
+bool
+System::tryPersistAccept(const mem::PersistEntry &e, Tick now)
+{
+    mem::MemController &mc = *mcs_.at(mcForAddr(e.addr));
+    if (!mc.canAccept(e))
+        return false;
+    mc.accept(e, now);
+    return true;
+}
+
+void
+System::broadcastBoundary(RegionId region, Tick now)
+{
+    noc_.broadcastBoundary(region, now);
+}
+
+bool
+System::regionDurable(CoreId core_id, RegionId region)
+{
+    // With the WPQ running as a plain FIFO (ungated schemes), region
+    // durability reduces to this core's persists having drained.
+    if (!cfg_.mc.gatingEnabled)
+        return persistsDrained(core_id);
+    const cpu::Core &core = *cores_.at(core_id);
+    if (!core.febEmpty() && core.febMinRegion() <= region)
+        return false;
+    for (const auto &mc : mcs_) {
+        if (mc->drainCursor() <= region)
+            return false;
+    }
+    return true;
+}
+
+bool
+System::persistsDrained(CoreId core_id)
+{
+    const cpu::Core &core = *cores_.at(core_id);
+    if (!core.febEmpty())
+        return false;
+    cpu::ThreadContext *t = cores_.at(core_id)->thread();
+    if (t == nullptr)
+        return true;
+    ThreadId tid = t->tid();
+    for (const auto &mc : mcs_) {
+        bool found = false;
+        mc->wpq().forEach([&](const mem::PersistEntry &e) {
+            found = found || e.thread == tid;
+        });
+        if (found)
+            return false;
+    }
+    return true;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    auto line = [&](const std::string &name, const std::string &stat,
+                    double v) { os << name << '.' << stat << ' ' << v
+                                   << '\n'; };
+    for (const auto &c : cores_) {
+        line(c->name(), "instsRetired",
+             static_cast<double>(c->instsRetired()));
+        line(c->name(), "storesRetired",
+             static_cast<double>(c->storesRetired()));
+        line(c->name(), "boundariesRetired",
+             static_cast<double>(c->boundariesRetired()));
+        line(c->name(), "sbFullCycles",
+             static_cast<double>(c->sbFullCycles()));
+        line(c->name(), "febFullCycles",
+             static_cast<double>(c->febFullCycles()));
+        line(c->name(), "boundaryWaitCycles",
+             static_cast<double>(c->boundaryWaitCycles()));
+        line(c->name(), "lockBlockedCycles",
+             static_cast<double>(c->lockBlockedCycles()));
+        line(c->name(), "branchMisses",
+             static_cast<double>(c->branchMisses()));
+        line(c->name(), "regionInsts.mean",
+             c->regionInsts().summary().mean());
+        line(c->name(), "regionStores.mean",
+             c->regionStores().summary().mean());
+    }
+    for (const auto &l1 : l1d_) {
+        line(l1->name(), "hits", static_cast<double>(l1->hits()));
+        line(l1->name(), "misses", static_cast<double>(l1->misses()));
+        line(l1->name(), "bufferConflicts",
+             static_cast<double>(l1->bufferConflicts()));
+    }
+    line(l2_->name(), "hits", static_cast<double>(l2_->hits()));
+    line(l2_->name(), "misses", static_cast<double>(l2_->misses()));
+    for (const auto &mc : mcs_) {
+        line(mc->name(), "flushedEntries",
+             static_cast<double>(mc->flushedEntries()));
+        line(mc->name(), "fallbackFlushes",
+             static_cast<double>(mc->fallbackFlushes()));
+        line(mc->name(), "wpqLoadHits",
+             static_cast<double>(mc->wpqLoadHits()));
+        line(mc->name(), "regionsCommitted",
+             static_cast<double>(mc->regionsCommitted()));
+        line(mc->name(), "flushId",
+             static_cast<double>(mc->flushId()));
+    }
+    line(noc_.name(), "messagesSent",
+         static_cast<double>(noc_.messagesSent()));
+    line(noc_.name(), "boundariesBroadcast",
+         static_cast<double>(noc_.boundariesBroadcast()));
+}
+
+RunResult
+System::collectResult(bool completed)
+{
+    RunResult r;
+    r.cycles = sim_.now() - warmupCycles_;
+    r.completed = completed;
+
+    double region_insts_sum = 0, region_stores_sum = 0;
+    std::uint64_t region_count = 0;
+    for (const auto &c : cores_) {
+        r.instsRetired += c->instsRetired();
+        r.storesRetired += c->storesRetired();
+        r.boundaries += c->boundariesRetired();
+        r.boundaryWaitCycles += c->boundaryWaitCycles();
+        r.sbFullCycles += c->sbFullCycles();
+        r.febFullCycles += c->febFullCycles();
+        r.snoopBlockedCycles += c->snoopBlockedCycles();
+        r.lockBlockedCycles += c->lockBlockedCycles();
+        region_insts_sum += c->regionInsts().summary().sum();
+        region_stores_sum += c->regionStores().summary().sum();
+        region_count += c->regionInsts().summary().count();
+    }
+    for (const auto &l1 : l1d_) {
+        r.l1Hits += l1->hits();
+        r.l1Misses += l1->misses();
+        r.bufferConflicts += l1->bufferConflicts();
+        r.divertedVictims += l1->divertedVictims();
+    }
+    r.l1Misses += staleExtraMisses_;
+    r.staleLoads = staleLoads_;
+    for (const auto &mc : mcs_) {
+        r.wpqLoadHits += mc->wpqLoadHits();
+        r.wpqFlushedEntries += mc->flushedEntries();
+        r.wpqFallbackFlushes += mc->fallbackFlushes();
+        r.wpqOverflowEvents += mc->overflowEvents();
+        r.maxWpqOccupancy =
+            std::max(r.maxWpqOccupancy, mc->maxWpqOccupancy());
+        r.regionsCommitted =
+            std::max(r.regionsCommitted, mc->regionsCommitted());
+    }
+    r.ipc = r.cycles ? static_cast<double>(r.instsRetired) / r.cycles : 0;
+    if (region_count > 0) {
+        r.avgRegionInsts = region_insts_sum / region_count;
+        r.avgRegionStores = region_stores_sum / region_count;
+    }
+    return r;
+}
+
+} // namespace core
+} // namespace lwsp

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The LightWSP system: cores, caches, persist paths, memory controllers
+ * and the recovery engine, wired per the configured persistence scheme.
+ *
+ * The system maintains two functional images: the execution image (what
+ * loads observe, updated at dispatch) and the PM image (updated only when
+ * a WPQ releases an entry), so at any crash cycle the PM image is exactly
+ * what battery-backed hardware would leave behind. powerFailure() runs the
+ * paper's §IV-F drain protocol; recover() builds a successor system from
+ * the post-crash PM image with every thread repositioned at its latest
+ * persisted boundary.
+ */
+
+#ifndef LWSP_CORE_SYSTEM_HH
+#define LWSP_CORE_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "cpu/core.hh"
+#include "cpu/lock_table.hh"
+#include "cpu/thread_context.hh"
+#include "mem/mem_controller.hh"
+#include "mem/mem_image.hh"
+#include "noc/noc.hh"
+#include "sim/simulator.hh"
+
+namespace lwsp {
+namespace core {
+
+/** PC-slot sentinel: thread has not yet persisted any boundary. */
+constexpr std::uint64_t noSiteSentinel = 0xffff'fffeull;
+
+/** Aggregated outcome of one run (normalized by the harness). */
+struct RunResult
+{
+    Tick cycles = 0;
+    bool completed = false;      ///< false: cycle limit or power failure
+    std::uint64_t instsRetired = 0;
+    std::uint64_t storesRetired = 0;
+    std::uint64_t boundaries = 0;
+    double ipc = 0.0;
+
+    // Stall accounting (persistence-efficiency inputs, Eq. 1).
+    std::uint64_t boundaryWaitCycles = 0;
+    std::uint64_t sbFullCycles = 0;
+    std::uint64_t febFullCycles = 0;
+    std::uint64_t snoopBlockedCycles = 0;
+    std::uint64_t lockBlockedCycles = 0;
+
+    // Memory-system behaviour.
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t staleLoads = 0;
+    std::uint64_t bufferConflicts = 0;
+    std::uint64_t divertedVictims = 0;
+    std::uint64_t wpqLoadHits = 0;
+    std::uint64_t wpqFlushedEntries = 0;
+    std::uint64_t wpqFallbackFlushes = 0;
+    std::uint64_t wpqOverflowEvents = 0;
+    std::size_t maxWpqOccupancy = 0;
+    std::uint64_t regionsCommitted = 0;
+
+    double avgRegionInsts = 0.0;
+    double avgRegionStores = 0.0;
+
+    double l1MissRate() const
+    {
+        std::uint64_t t = l1Hits + l1Misses;
+        return t ? static_cast<double>(l1Misses) / t : 0.0;
+    }
+};
+
+class System : public cpu::MemPort
+{
+  public:
+    /**
+     * @param cfg scheme-applied configuration
+     * @param program the binary to run (compiled or original per scheme)
+     * @param num_threads software threads; all start at function 0 with
+     *        r0 = thread id
+     */
+    System(const SystemConfig &cfg,
+           const compiler::CompiledProgram &program, unsigned num_threads);
+
+    /** Run to completion (or the config's cycle cap). */
+    RunResult run();
+
+    /**
+     * Run until cycle @p fail_at, then execute the power-failure drain
+     * protocol. If the program finishes earlier, returns the normal
+     * result and performs no crash.
+     *
+     * @return the run result up to the failure point
+     */
+    RunResult runWithPowerFailure(Tick fail_at);
+
+    /** @return true if the drain protocol actually executed. */
+    bool crashed() const { return crashed_; }
+
+    /** Post-crash (or final) persistent-memory state. */
+    const mem::MemImage &pmImage() const { return pm_; }
+
+    /** Execution-image view (golden final memory on clean completion). */
+    const mem::MemImage &execImage() const { return execMem_; }
+
+    /**
+     * Build a successor system resuming from @p pm_state: each thread is
+     * repositioned via its PC slot, registers restored from checkpoint
+     * slots (+ recipes), and lock ownership rebuilt from the lock words
+     * listed in @p lock_addrs.
+     */
+    static std::unique_ptr<System>
+    recover(const SystemConfig &cfg,
+            const compiler::CompiledProgram &program,
+            unsigned num_threads, const mem::MemImage &pm_state,
+            const std::vector<Addr> &lock_addrs);
+
+    // ---- MemPort ----------------------------------------------------------
+    Tick loadLatency(CoreId core_id, Addr addr, Tick now) override;
+    bool storeAccess(CoreId core_id, Addr addr, Tick now) override;
+    bool tryPersistAccept(const mem::PersistEntry &e, Tick now) override;
+    void broadcastBoundary(RegionId region, Tick now) override;
+    bool regionDurable(CoreId core_id, RegionId region) override;
+    bool persistsDrained(CoreId core_id) override;
+
+    // ---- Introspection ----------------------------------------------------
+    cpu::Core &coreAt(CoreId i) { return *cores_.at(i); }
+    mem::MemController &mcAt(McId i) { return *mcs_.at(i); }
+    cpu::ThreadContext &threadAt(ThreadId t) { return *threads_.at(t); }
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+    Tick now() const { return sim_.now(); }
+    const SystemConfig &config() const { return cfg_; }
+    noc::Noc &nocNet() { return noc_; }
+
+    /** MC owning @p addr (cacheline interleaving). */
+    McId mcForAddr(Addr addr) const;
+
+    /**
+     * Dump every component's statistics in gem5-style
+     * "component.stat value" lines (cores, caches, MCs, NoC).
+     */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    bool done() const;
+    void scheduleThreads(Tick now);
+    void maybeEndWarmup();
+    void executeCrashDrain(Tick now);
+    RunResult collectResult(bool completed);
+
+    SystemConfig cfg_;
+    const compiler::CompiledProgram &program_;
+
+    mem::MemImage execMem_;
+    mem::MemImage pm_;
+    cpu::LockTable locks_;
+    cpu::RegionAllocator regionAlloc_;
+
+    Simulator sim_;
+    noc::Noc noc_;
+    std::vector<std::unique_ptr<mem::MemController>> mcs_;
+    std::vector<std::unique_ptr<mem::Cache>> l1d_;
+    std::unique_ptr<mem::Cache> l2_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::vector<std::unique_ptr<cpu::ThreadContext>> threads_;
+
+    /** Round-robin run queues: thread indices per core. */
+    std::vector<std::vector<ThreadId>> runQueues_;
+    std::vector<std::size_t> runIndex_;
+    Tick nextScheduleCheck_ = 0;
+
+    bool crashed_ = false;
+    bool warmupDone_ = false;
+    Tick warmupCycles_ = 0;
+    std::uint64_t staleLoads_ = 0;
+    std::uint64_t staleExtraMisses_ = 0;
+};
+
+} // namespace core
+} // namespace lwsp
+
+#endif // LWSP_CORE_SYSTEM_HH

@@ -1,0 +1,240 @@
+#include "core.hh"
+
+#include <string>
+
+namespace lwsp {
+namespace cpu {
+
+Core::Core(CoreId id, const CoreConfig &cfg, MemPort &port)
+    : Clocked("core" + std::to_string(id)), id_(id), cfg_(cfg),
+      port_(port), rng_(cfg.rngSeed + id * 0x9e37u)
+{
+}
+
+bool
+Core::febContainsLine(Addr line) const
+{
+    for (const auto &fe : feb_) {
+        if (alignDown(fe.entry.addr, cachelineBytes) == line)
+            return true;
+    }
+    return false;
+}
+
+RegionId
+Core::febMinRegion() const
+{
+    RegionId min = invalidRegion;
+    for (const auto &fe : feb_) {
+        if (fe.entry.region < min)
+            min = fe.entry.region;
+    }
+    return min;
+}
+
+void
+Core::persistEgress(Tick now)
+{
+    if (feb_.empty())
+        return;
+    FebEntry &head = feb_.front();
+    if (!head.launched || now < head.arriveAt)
+        return;
+    if (!port_.tryPersistAccept(head.entry, now)) {
+        ++pathBlockedCycles_;
+        return;
+    }
+    // Boundary broadcasts happen here, after every earlier granule of the
+    // FIFO path has been accepted — the ordering LRPO relies on.
+    if (head.entry.isBoundary)
+        port_.broadcastBoundary(head.entry.broadcastRegion, now);
+    feb_.pop_front();
+    LWSP_ASSERT(launchedCount_ > 0, "egress of unlaunched entry");
+    --launchedCount_;
+}
+
+void
+Core::persistLaunch(Tick now)
+{
+    if (launchedCount_ >= feb_.size() || now < nextLaunch_)
+        return;
+    FebEntry &fe = feb_[launchedCount_];
+    fe.launched = true;
+    fe.arriveAt = now + cfg_.pathLatency;
+    ++launchedCount_;
+    auto slot = static_cast<Tick>(
+        static_cast<double>(cfg_.pathCyclesPerEntry) *
+        cfg_.trafficAmplification);
+    nextLaunch_ = now + (slot ? slot : 1);
+}
+
+void
+Core::drainStoreBuffer(Tick now)
+{
+    if (sb_.empty())
+        return;
+    const ExecRecord &rec = sb_.front();
+
+    // Regular path: write-allocate into L1. A zero-victim snoop conflict
+    // blocks the store until the FEB entry drains.
+    if (!port_.storeAccess(id_, rec.addr, now)) {
+        ++snoopBlockedCycles_;
+        return;
+    }
+
+    if (cfg_.persistPathEnabled) {
+        if (feb_.size() >= cfg_.febEntries) {
+            ++febFullCycles_;
+            return;
+        }
+        FebEntry fe;
+        fe.entry.addr = rec.addr;
+        fe.entry.value = rec.value;
+        fe.entry.region = rec.region;
+        fe.entry.thread = rec.thread;
+        fe.entry.isBoundary = rec.isBoundary;
+        fe.entry.broadcastRegion = rec.broadcastRegion;
+        fe.entry.site = rec.site;
+        feb_.push_back(fe);
+    }
+    sb_.pop_front();
+}
+
+void
+Core::retire(Tick now)
+{
+    for (unsigned n = 0; n < cfg_.commitWidth; ++n) {
+        if (waitingDurable_) {
+            bool durable =
+                (cfg_.boundaryPolicy ==
+                 CoreConfig::BoundaryPolicy::StallUntilDurable)
+                    ? port_.regionDurable(id_, durableRegion_)
+                    : port_.persistsDrained(id_);
+            if (!durable) {
+                ++boundaryWaitCycles_;
+                return;
+            }
+            waitingDurable_ = false;
+        }
+        if (rob_.empty() || rob_.front().ready > now)
+            return;
+
+        const ExecRecord &rec = rob_.front().rec;
+        if (rec.isStore) {
+            if (sb_.size() >= cfg_.sbEntries) {
+                ++sbFullCycles_;
+                return;
+            }
+            sb_.push_back(rec);
+            ++storesRetired_;
+            ++storesSinceBoundary_;
+        }
+
+        ++instsRetired_;
+        ++instsSinceBoundary_;
+
+        if (rec.isBoundary) {
+            ++boundariesRetired_;
+            regionInsts_.sample(
+                static_cast<double>(instsSinceBoundary_));
+            regionStores_.sample(
+                static_cast<double>(storesSinceBoundary_));
+            instsSinceBoundary_ = 0;
+            storesSinceBoundary_ = 0;
+            if (cfg_.boundaryPolicy ==
+                CoreConfig::BoundaryPolicy::StallUntilDurable) {
+                waitingDurable_ = true;
+                durableRegion_ = rec.region;
+            }
+        }
+
+        if (cfg_.boundaryPolicy == CoreConfig::BoundaryPolicy::HwImplicit &&
+            rec.isStore) {
+            if (++hwStoreCount_ >= cfg_.hwRegionStores) {
+                hwStoreCount_ = 0;
+                waitingDurable_ = true;
+                ++boundariesRetired_;
+                regionInsts_.sample(
+                    static_cast<double>(instsSinceBoundary_));
+                regionStores_.sample(
+                    static_cast<double>(storesSinceBoundary_));
+                instsSinceBoundary_ = 0;
+                storesSinceBoundary_ = 0;
+            }
+        }
+
+        rob_.pop_front();
+    }
+}
+
+void
+Core::dispatch(Tick now)
+{
+    lockBlocked_ = false;
+    if (thread_ == nullptr || thread_->halted())
+        return;
+    if (now < dispatchBlockedUntil_)
+        return;
+    // Persist barriers (naive sfence / PPA+Capri region ends) stall the
+    // whole pipeline, not just retirement.
+    if (waitingDurable_)
+        return;
+
+    for (unsigned n = 0; n < cfg_.issueWidth; ++n) {
+        if (rob_.size() >= cfg_.robEntries) {
+            ++robFullCycles_;
+            return;
+        }
+
+        ExecRecord rec;
+        StepStatus status = thread_->step(rec);
+        if (status == StepStatus::Blocked) {
+            lockBlocked_ = true;
+            ++lockBlockedCycles_;
+            return;
+        }
+        if (status == StepStatus::Halted)
+            return;
+
+        Tick issue_at = now;
+        for (ir::Reg r = 0; r < ir::numGprs; ++r) {
+            if (rec.srcRegs & compiler::regBit(r))
+                issue_at = std::max(issue_at, regReady_[r]);
+        }
+
+        Tick done;
+        if (rec.isLoad) {
+            done = issue_at + port_.loadLatency(id_, rec.addr, now);
+        } else if (rec.isStore) {
+            done = issue_at + 1;  // address/data ready
+        } else {
+            done = issue_at + rec.aluLatency;
+        }
+
+        if (rec.dstReg >= 0)
+            regReady_[static_cast<std::size_t>(rec.dstReg)] = done;
+
+        if (rec.isBranch && rng_.chance(cfg_.branchMissRate)) {
+            ++branchMisses_;
+            dispatchBlockedUntil_ = done + cfg_.branchMissPenalty;
+        }
+
+        rob_.push_back({done, rec});
+
+        if (rec.isHalt || now < dispatchBlockedUntil_)
+            return;
+    }
+}
+
+void
+Core::tick(Tick now)
+{
+    persistEgress(now);
+    persistLaunch(now);
+    drainStoreBuffer(now);
+    retire(now);
+    dispatch(now);
+}
+
+} // namespace cpu
+} // namespace lwsp

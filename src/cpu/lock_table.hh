@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Functional lock table shared by all thread contexts.
+ *
+ * LockAcq/LockRel model the synchronization primitives of DRF programs
+ * (paper §III-D). Lock words live at ordinary memory addresses and are
+ * persisted like any store (value = owner+1, or 0 when free), so recovery
+ * can rebuild lock ownership from the PM image.
+ */
+
+#ifndef LWSP_CPU_LOCK_TABLE_HH
+#define LWSP_CPU_LOCK_TABLE_HH
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lwsp {
+namespace cpu {
+
+class LockTable
+{
+  public:
+    /** @return true if acquired; false if held by another thread. */
+    bool
+    tryAcquire(Addr addr, ThreadId tid)
+    {
+        auto it = owners_.find(addr);
+        if (it != owners_.end() && it->second != tid)
+            return false;
+        owners_[addr] = tid;
+        return true;
+    }
+
+    void
+    release(Addr addr, ThreadId tid)
+    {
+        auto it = owners_.find(addr);
+        LWSP_ASSERT(it != owners_.end() && it->second == tid,
+                    "releasing a lock not held by thread ", tid);
+        owners_.erase(it);
+    }
+
+    bool
+    heldBy(Addr addr, ThreadId tid) const
+    {
+        auto it = owners_.find(addr);
+        return it != owners_.end() && it->second == tid;
+    }
+
+    bool held(Addr addr) const { return owners_.count(addr) != 0; }
+
+    void clear() { owners_.clear(); }
+
+    /** Recovery: mark @p addr held by @p tid (rebuilt from PM lock words). */
+    void
+    restore(Addr addr, ThreadId tid)
+    {
+        owners_[addr] = tid;
+    }
+
+  private:
+    std::unordered_map<Addr, ThreadId> owners_;
+};
+
+} // namespace cpu
+} // namespace lwsp
+
+#endif // LWSP_CPU_LOCK_TABLE_HH

@@ -1,0 +1,133 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace lwsp {
+namespace harness {
+
+std::vector<std::string>
+ResultTable::suites() const
+{
+    std::vector<std::string> out;
+    for (const auto &row : rows_) {
+        if (std::find(out.begin(), out.end(), row.suite) == out.end())
+            out.push_back(row.suite);
+    }
+    return out;
+}
+
+double
+ResultTable::overallGeomean(std::size_t column) const
+{
+    std::vector<double> v;
+    for (const auto &row : rows_)
+        v.push_back(row.values.at(column));
+    return stats::geomean(v);
+}
+
+double
+ResultTable::suiteGeomean(const std::string &suite,
+                          std::size_t column) const
+{
+    std::vector<double> v;
+    for (const auto &row : rows_) {
+        if (row.suite == suite)
+            v.push_back(row.values.at(column));
+    }
+    return stats::geomean(v);
+}
+
+namespace {
+
+void
+printHeader(std::ostream &os, const std::string &title,
+            const std::vector<std::string> &columns)
+{
+    os << "== " << title << " ==\n";
+    os << std::left << std::setw(14) << "workload" << std::setw(10)
+       << "suite";
+    for (const auto &c : columns)
+        os << std::right << std::setw(14) << c;
+    os << '\n';
+}
+
+} // namespace
+
+void
+ResultTable::print(std::ostream &os, unsigned precision) const
+{
+    printHeader(os, title_, columns_);
+    os << std::fixed << std::setprecision(precision);
+
+    std::string current_suite;
+    for (const auto &row : rows_) {
+        if (!current_suite.empty() && row.suite != current_suite) {
+            os << std::left << std::setw(14) << "geomean"
+               << std::setw(10) << current_suite;
+            for (std::size_t c = 0; c < columns_.size(); ++c)
+                os << std::right << std::setw(14)
+                   << suiteGeomean(current_suite, c);
+            os << '\n';
+        }
+        current_suite = row.suite;
+        os << std::left << std::setw(14) << row.workload << std::setw(10)
+           << row.suite;
+        for (double v : row.values)
+            os << std::right << std::setw(14) << v;
+        os << '\n';
+    }
+    if (!rows_.empty()) {
+        os << std::left << std::setw(14) << "geomean" << std::setw(10)
+           << current_suite;
+        for (std::size_t c = 0; c < columns_.size(); ++c)
+            os << std::right << std::setw(14)
+               << suiteGeomean(current_suite, c);
+        os << '\n';
+        os << std::left << std::setw(14) << "geomean(all)"
+           << std::setw(10) << "-";
+        for (std::size_t c = 0; c < columns_.size(); ++c)
+            os << std::right << std::setw(14) << overallGeomean(c);
+        os << '\n';
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+void
+ResultTable::printSuiteSummary(std::ostream &os, unsigned precision) const
+{
+    printHeader(os, title_, columns_);
+    os << std::fixed << std::setprecision(precision);
+    for (const auto &suite : suites()) {
+        os << std::left << std::setw(14) << suite << std::setw(10) << "";
+        for (std::size_t c = 0; c < columns_.size(); ++c)
+            os << std::right << std::setw(14) << suiteGeomean(suite, c);
+        os << '\n';
+    }
+    if (!rows_.empty()) {
+        os << std::left << std::setw(14) << "geomean(all)"
+           << std::setw(10) << "";
+        for (std::size_t c = 0; c < columns_.size(); ++c)
+            os << std::right << std::setw(14) << overallGeomean(c);
+        os << '\n';
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+void
+ResultTable::writeCsv(std::ostream &os) const
+{
+    os << "workload,suite";
+    for (const auto &c : columns_)
+        os << ',' << c;
+    os << '\n';
+    for (const auto &row : rows_) {
+        os << row.workload << ',' << row.suite;
+        for (double v : row.values)
+            os << ',' << std::setprecision(10) << v;
+        os << '\n';
+    }
+}
+
+} // namespace harness
+} // namespace lwsp

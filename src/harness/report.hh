@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure/table formatting: fixed-width console tables matching the
+ * paper's figure structure (per-app rows, per-suite geomeans) plus CSV
+ * emission for plotting.
+ */
+
+#ifndef LWSP_HARNESS_REPORT_HH
+#define LWSP_HARNESS_REPORT_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace lwsp {
+namespace harness {
+
+/** A rectangular result table: rows = workloads, columns = series. */
+class ResultTable
+{
+  public:
+    explicit ResultTable(std::string title) : title_(std::move(title)) {}
+
+    void
+    addColumn(const std::string &name)
+    {
+        columns_.push_back(name);
+    }
+
+    void
+    addRow(const std::string &workload, const std::string &suite,
+           const std::vector<double> &values)
+    {
+        LWSP_ASSERT(values.size() == columns_.size(),
+                    "row width mismatch in table ", title_);
+        rows_.push_back({workload, suite, values});
+    }
+
+    /**
+     * Print per-row values, a geomean row per suite, and an overall
+     * geomean — the structure of the paper's bar charts.
+     */
+    void print(std::ostream &os, unsigned precision = 3) const;
+
+    /** Print only the per-suite geomeans (Figs 8/10-17 granularity). */
+    void printSuiteSummary(std::ostream &os, unsigned precision = 3) const;
+
+    void writeCsv(std::ostream &os) const;
+
+    /** Geomean of one column over every row. */
+    double overallGeomean(std::size_t column) const;
+
+    /** Geomean of one column over rows of @p suite. */
+    double suiteGeomean(const std::string &suite,
+                        std::size_t column) const;
+
+    /** Suites in first-appearance order. */
+    std::vector<std::string> suites() const;
+
+    const std::string &title() const { return title_; }
+
+  private:
+    struct Row
+    {
+        std::string workload;
+        std::string suite;
+        std::vector<double> values;
+    };
+
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<Row> rows_;
+};
+
+} // namespace harness
+} // namespace lwsp
+
+#endif // LWSP_HARNESS_REPORT_HH

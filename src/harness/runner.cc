@@ -1,0 +1,158 @@
+#include "runner.hh"
+
+#include <sstream>
+
+#include "compiler/compiler.hh"
+
+namespace lwsp {
+namespace harness {
+
+using core::Scheme;
+
+core::SystemConfig
+makeConfig(const workloads::WorkloadProfile &profile, const RunSpec &spec)
+{
+    core::SystemConfig cfg;
+    cfg.scheme = spec.scheme;
+
+    cfg.core.branchMissRate = profile.branchMissRate;
+    cfg.core.hwRegionStores = profile.hwRegionStores;
+
+    unsigned wpq = spec.wpqEntries.value_or(64);
+    cfg.mc.wpqEntries = wpq;
+    cfg.core.febEntries = wpq;  // front-end buffer follows WPQ size (§IV-E)
+
+    double gbps = spec.persistPathGBps.value_or(4.0);
+    cfg.core.pathCyclesPerEntry = bandwidthToCyclesPerGranule(gbps);
+
+    if (spec.pmReadCycles)
+        cfg.mc.pmReadCycles = *spec.pmReadCycles;
+    if (spec.pmWriteCycles)
+        cfg.mc.pmWriteCycles = *spec.pmWriteCycles;
+    if (spec.extraPathLatency)
+        cfg.core.pathLatency += *spec.extraPathLatency;
+    if (spec.drainInterval)
+        cfg.mc.drainInterval = *spec.drainInterval;
+    if (spec.victimPolicy)
+        cfg.victimPolicy = *spec.victimPolicy;
+    if (spec.strictFlushAcks)
+        cfg.mc.strictFlushAcks = *spec.strictFlushAcks;
+
+    cfg.applySchemeDefaults();
+    return cfg;
+}
+
+compiler::CompiledProgram
+prepareProgram(workloads::Workload &&workload, const RunSpec &spec)
+{
+    if (!core::schemeUsesCompiledBinary(spec.scheme))
+        return compiler::makeUncompiled(std::move(workload.module));
+
+    compiler::CompilerConfig ccfg;
+    unsigned wpq = spec.wpqEntries.value_or(64);
+    ccfg.storeThreshold = spec.storeThreshold.value_or(wpq / 2);
+    if (spec.scheme == Scheme::Cwsp)
+        ccfg.insertCheckpointStores = false;
+
+    compiler::LightWspCompiler comp(ccfg);
+    return comp.compile(std::move(workload.module));
+}
+
+RunOutcome
+Runner::run(const RunSpec &spec)
+{
+    const auto &profile = workloads::profileByName(spec.workload);
+    workloads::Workload w = workloads::generate(profile);
+
+    RunOutcome out;
+    out.threads = spec.threads.value_or(profile.threads);
+
+    core::SystemConfig cfg = makeConfig(profile, spec);
+    // Warm the caches (stand-in for the paper's 10B-instruction
+    // fast-forward): measure only the last ~65% of the run.
+    cfg.warmupInsts = w.estimatedInstsPerThread * out.threads * 35 / 100;
+    compiler::CompiledProgram prog =
+        prepareProgram(std::move(w), spec);
+    out.compileStats = prog.stats;
+
+    core::System sys(cfg, prog, out.threads);
+    out.result = sys.run();
+    if (!out.result.completed)
+        warn("run did not complete: ", spec.workload, " on ",
+             core::schemeName(spec.scheme));
+    return out;
+}
+
+std::string
+Runner::baselineKey(const RunSpec &spec) const
+{
+    std::ostringstream os;
+    os << spec.workload << '/' << spec.threads.value_or(0) << '/'
+       << spec.pmReadCycles.value_or(0) << '/'
+       << spec.pmWriteCycles.value_or(0);
+    return os.str();
+}
+
+double
+Runner::slowdownVsBaseline(const RunSpec &spec)
+{
+    std::string key = baselineKey(spec);
+    auto it = baselineCycles_.find(key);
+    if (it == baselineCycles_.end()) {
+        RunSpec base = spec;
+        base.scheme = Scheme::Baseline;
+        // The baseline keeps Table I memory parameters; CXL media-latency
+        // overrides apply to it as well (the paper normalizes within each
+        // configuration).
+        base.wpqEntries.reset();
+        base.storeThreshold.reset();
+        base.victimPolicy.reset();
+        base.persistPathGBps.reset();
+        base.extraPathLatency.reset();
+        base.drainInterval.reset();
+        base.strictFlushAcks.reset();
+        Tick cycles = run(base).result.cycles;
+        it = baselineCycles_.emplace(key, cycles).first;
+    }
+    Tick scheme_cycles = run(spec).result.cycles;
+    return static_cast<double>(scheme_cycles) /
+           static_cast<double>(it->second);
+}
+
+double
+persistenceEfficiency(const core::RunResult &r,
+                      const core::SystemConfig &cfg)
+{
+    if (r.boundaries == 0)
+        return 100.0;
+
+    // Unoptimized persistence latency: every region pays the full path
+    // latency, a banked PM write per entry (the write latency amortized
+    // over the iMC's internal banking), and one ACK round trip, fully
+    // serialized with execution.
+    constexpr double pmWriteBanking = 16.0;
+    double entries_per_region =
+        r.boundaries
+            ? static_cast<double>(std::max<std::uint64_t>(
+                  r.wpqFlushedEntries, r.storesRetired)) /
+                  static_cast<double>(r.boundaries)
+            : 0.0;
+    double tp = static_cast<double>(r.boundaries) *
+                (static_cast<double>(cfg.core.pathLatency) +
+                 entries_per_region *
+                     static_cast<double>(cfg.mc.pmWriteCycles) /
+                     pmWriteBanking +
+                 2.0 * static_cast<double>(cfg.nocHopLatency));
+
+    double twait = static_cast<double>(r.boundaryWaitCycles) +
+                   static_cast<double>(r.sbFullCycles) +
+                   static_cast<double>(r.febFullCycles);
+
+    if (tp <= 0)
+        return 100.0;
+    double eff = (tp - twait) / tp * 100.0;
+    return std::max(0.0, std::min(100.0, eff));
+}
+
+} // namespace harness
+} // namespace lwsp

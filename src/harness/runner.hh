@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment runner: generates a workload, compiles it for the requested
+ * scheme, assembles the system configuration (with per-experiment
+ * overrides for the sensitivity studies) and runs it. Baseline runs are
+ * cached so slowdown normalization doesn't recompute them.
+ */
+
+#ifndef LWSP_HARNESS_RUNNER_HH
+#define LWSP_HARNESS_RUNNER_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/system.hh"
+#include "workloads/generator.hh"
+
+namespace lwsp {
+namespace harness {
+
+/** One experiment point. */
+struct RunSpec
+{
+    std::string workload;                 ///< paper-app profile name
+    core::Scheme scheme = core::Scheme::LightWsp;
+
+    // Sensitivity-study overrides (defaults = Table I values).
+    std::optional<unsigned> wpqEntries;        ///< Fig 11 (FEB follows)
+    std::optional<unsigned> storeThreshold;    ///< Fig 12
+    std::optional<mem::VictimPolicy> victimPolicy;  ///< Figs 13/14
+    std::optional<double> persistPathGBps;     ///< Fig 15
+    std::optional<unsigned> threads;           ///< Fig 16
+    std::optional<Tick> pmReadCycles;          ///< Fig 17 (CXL)
+    std::optional<Tick> pmWriteCycles;         ///< Fig 17
+    std::optional<Tick> extraPathLatency;      ///< Fig 17 (CXL link)
+    std::optional<Tick> drainInterval;         ///< CXL media bandwidth
+    std::optional<bool> strictFlushAcks;       ///< commit-pipeline ablation
+};
+
+struct RunOutcome
+{
+    core::RunResult result;
+    compiler::CompileStats compileStats;
+    unsigned threads = 1;
+};
+
+/** Build the SystemConfig for a (profile, spec) pair. */
+core::SystemConfig makeConfig(const workloads::WorkloadProfile &profile,
+                              const RunSpec &spec);
+
+/** Compile @p workload for @p spec's scheme (consumes the module). */
+compiler::CompiledProgram
+prepareProgram(workloads::Workload &&workload, const RunSpec &spec);
+
+class Runner
+{
+  public:
+    /** Execute one experiment point. */
+    RunOutcome run(const RunSpec &spec);
+
+    /**
+     * Cycles of @p spec divided by the matching Baseline run's cycles
+     * (same workload, threads and memory configuration).
+     */
+    double slowdownVsBaseline(const RunSpec &spec);
+
+  private:
+    std::string baselineKey(const RunSpec &spec) const;
+
+    std::map<std::string, Tick> baselineCycles_;
+};
+
+/**
+ * Region-level persistence efficiency, Eq. (1) of the paper:
+ * (Tp - Twait) / Tp * 100, where Twait is the scheme's persist-induced
+ * core wait time and Tp estimates the unoptimized persistence latency.
+ */
+double persistenceEfficiency(const core::RunResult &r,
+                             const core::SystemConfig &cfg);
+
+} // namespace harness
+} // namespace lwsp
+
+#endif // LWSP_HARNESS_RUNNER_HH

@@ -1,0 +1,165 @@
+#include "cfg.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace lwsp {
+namespace ir {
+
+Cfg::Cfg(const Function &fn)
+    : succs_(fn.numBlocks()), preds_(fn.numBlocks()),
+      reachable_(fn.numBlocks(), false)
+{
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        succs_[b] = fn.block(b).successors();
+        for (BlockId s : succs_[b]) {
+            LWSP_ASSERT(s < fn.numBlocks(),
+                        "branch target out of range in ", fn.name());
+        }
+    }
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        for (BlockId s : succs_[b])
+            preds_[s].push_back(b);
+    }
+
+    // Iterative post-order DFS from the entry.
+    if (fn.numBlocks() == 0)
+        return;
+    std::vector<BlockId> post;
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    std::vector<bool> visited(fn.numBlocks(), false);
+    stack.emplace_back(0, 0);
+    visited[0] = true;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        if (next < succs_[b].size()) {
+            BlockId s = succs_[b][next++];
+            if (!visited[s]) {
+                visited[s] = true;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            post.push_back(b);
+            stack.pop_back();
+        }
+    }
+    reachable_ = visited;
+    rpo_.assign(post.rbegin(), post.rend());
+}
+
+DominatorTree::DominatorTree(const Cfg &cfg)
+    : cfg_(cfg), idom_(cfg.numBlocks(), invalidBlock),
+      rpoIndex_(cfg.numBlocks(), ~0u)
+{
+    const auto &rpo = cfg.reversePostOrder();
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpoIndex_[rpo[i]] = static_cast<BlockId>(i);
+
+    if (rpo.empty())
+        return;
+    BlockId entry = rpo.front();
+    idom_[entry] = entry;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpoIndex_[a] > rpoIndex_[b])
+                a = idom_[a];
+            while (rpoIndex_[b] > rpoIndex_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo) {
+            if (b == entry)
+                continue;
+            BlockId new_idom = invalidBlock;
+            for (BlockId p : cfg.predecessors(b)) {
+                if (!cfg.reachable(p) || idom_[p] == invalidBlock)
+                    continue;
+                new_idom = (new_idom == invalidBlock)
+                               ? p
+                               : intersect(new_idom, p);
+            }
+            if (new_idom != invalidBlock && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    if (!cfg_.reachable(b))
+        return false;
+    BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        BlockId up = idom_.at(cur);
+        if (up == cur || up == invalidBlock)
+            return cur == a;
+        cur = up;
+    }
+}
+
+std::vector<Loop>
+findNaturalLoops(const Cfg &cfg, const DominatorTree &dt)
+{
+    std::map<BlockId, Loop> by_header;
+
+    for (BlockId b = 0; b < cfg.numBlocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        for (BlockId s : cfg.successors(b)) {
+            if (!dt.dominates(s, b))
+                continue;
+            // Back edge b -> s: collect the loop body by walking
+            // predecessors from the latch until the header.
+            Loop &loop = by_header[s];
+            loop.header = s;
+            loop.latches.push_back(b);
+            std::vector<bool> in_loop(cfg.numBlocks(), false);
+            for (BlockId m : loop.blocks)
+                in_loop[m] = true;
+            if (!in_loop[s]) {
+                in_loop[s] = true;
+                loop.blocks.push_back(s);
+            }
+            std::vector<BlockId> work;
+            if (!in_loop[b]) {
+                in_loop[b] = true;
+                loop.blocks.push_back(b);
+                work.push_back(b);
+            }
+            while (!work.empty()) {
+                BlockId m = work.back();
+                work.pop_back();
+                for (BlockId p : cfg.predecessors(m)) {
+                    if (!cfg.reachable(p) || in_loop[p])
+                        continue;
+                    in_loop[p] = true;
+                    loop.blocks.push_back(p);
+                    work.push_back(p);
+                }
+            }
+        }
+    }
+
+    std::vector<Loop> loops;
+    loops.reserve(by_header.size());
+    for (auto &[header, loop] : by_header) {
+        std::sort(loop.blocks.begin(), loop.blocks.end());
+        loops.push_back(std::move(loop));
+    }
+    return loops;
+}
+
+} // namespace ir
+} // namespace lwsp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Control-flow-graph analyses over a Function: predecessor lists, reverse
+ * post-order, dominator tree (Cooper-Harvey-Kennedy) and natural loop
+ * detection. These feed the LightWSP compiler's region partitioning.
+ */
+
+#ifndef LWSP_IR_CFG_HH
+#define LWSP_IR_CFG_HH
+
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace lwsp {
+namespace ir {
+
+/** Predecessor/successor adjacency + traversal orders for one function. */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &fn);
+
+    const std::vector<BlockId> &successors(BlockId b) const
+    {
+        return succs_.at(b);
+    }
+    const std::vector<BlockId> &predecessors(BlockId b) const
+    {
+        return preds_.at(b);
+    }
+
+    /** Reverse post-order over reachable blocks, starting at the entry. */
+    const std::vector<BlockId> &reversePostOrder() const { return rpo_; }
+
+    /** @return true if @p b is reachable from the entry. */
+    bool reachable(BlockId b) const { return reachable_.at(b); }
+
+    std::size_t numBlocks() const { return succs_.size(); }
+
+  private:
+    std::vector<std::vector<BlockId>> succs_;
+    std::vector<std::vector<BlockId>> preds_;
+    std::vector<BlockId> rpo_;
+    std::vector<bool> reachable_;
+};
+
+/** Immediate-dominator tree over a Cfg (entry dominates everything). */
+class DominatorTree
+{
+  public:
+    explicit DominatorTree(const Cfg &cfg);
+
+    /** Immediate dominator of @p b (entry's idom is itself). */
+    BlockId idom(BlockId b) const { return idom_.at(b); }
+
+    /** @return true iff @p a dominates @p b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+  private:
+    const Cfg &cfg_;
+    std::vector<BlockId> idom_;
+    std::vector<BlockId> rpoIndex_;
+};
+
+/** One natural loop: header + member blocks + latch edges. */
+struct Loop
+{
+    BlockId header = invalidBlock;
+    std::vector<BlockId> blocks;  ///< includes the header
+    std::vector<BlockId> latches; ///< sources of back edges into the header
+
+    bool
+    contains(BlockId b) const
+    {
+        for (BlockId m : blocks) {
+            if (m == b)
+                return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * Find all natural loops (back edge t->h with h dominating t); loops
+ * sharing a header are merged, as is conventional.
+ */
+std::vector<Loop> findNaturalLoops(const Cfg &cfg, const DominatorTree &dt);
+
+} // namespace ir
+} // namespace lwsp
+
+#endif // LWSP_IR_CFG_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * LightIR opcode set.
+ *
+ * LightIR is a small RISC-like register machine standing in for post-RA
+ * LLVM MIR: 16 physical general-purpose registers, explicit loads/stores,
+ * branches between basic blocks, calls, and the synchronization operations
+ * (fence / atomic / lock) at which the LightWSP compiler must place region
+ * boundaries (paper §III-D). Two opcodes exist only as compiler output:
+ * Boundary (the PC-checkpointing store delimiting a region) and CkptStore
+ * (a live-out register checkpoint store).
+ */
+
+#ifndef LWSP_IR_OPCODE_HH
+#define LWSP_IR_OPCODE_HH
+
+#include <cstdint>
+
+namespace lwsp {
+namespace ir {
+
+/** Number of architectural general-purpose registers. */
+constexpr unsigned numGprs = 16;
+
+enum class Opcode : std::uint8_t
+{
+    // Data movement / arithmetic.
+    Movi,   ///< rd = imm
+    Mov,    ///< rd = rs1
+    Add,    ///< rd = rs1 + rs2
+    Sub,    ///< rd = rs1 - rs2
+    Mul,    ///< rd = rs1 * rs2
+    Div,    ///< rd = rs1 / rs2 (0 divisor yields 0)
+    And,    ///< rd = rs1 & rs2
+    Or,     ///< rd = rs1 | rs2
+    Xor,    ///< rd = rs1 ^ rs2
+    Shl,    ///< rd = rs1 << (rs2 & 63)
+    Shr,    ///< rd = rs1 >> (rs2 & 63)
+    AddI,   ///< rd = rs1 + imm
+    MulI,   ///< rd = rs1 * imm
+    Fma,    ///< rd = rs1 * rs2 + rd (models an FP pipe latency class)
+
+    // Memory.
+    Load,   ///< rd = mem[rs1 + imm]
+    Store,  ///< mem[rs1 + imm] = rs2
+
+    // Control flow (terminators, except Call).
+    Jmp,    ///< goto block(target)
+    Beq,    ///< if (rs1 == rs2) goto block(target) else fallthrough
+    Bne,    ///< if (rs1 != rs2) goto block(target) else fallthrough
+    Blt,    ///< if (rs1 <  rs2) goto block(target) else fallthrough (unsigned)
+    Bge,    ///< if (rs1 >= rs2) goto block(target) else fallthrough (unsigned)
+    Call,   ///< call function(callee); not a terminator
+    Ret,    ///< return to caller
+    Halt,   ///< terminate the thread's program
+
+    // Synchronization (compiler places region boundaries at these).
+    Fence,      ///< full memory fence
+    AtomicAdd,  ///< mem[rs1 + imm] += rs2, atomically
+    LockAcq,    ///< acquire lock at address rs1 + imm (blocks if held)
+    LockRel,    ///< release lock at address rs1 + imm
+
+    // Compiler-inserted persistence instructions.
+    Boundary,   ///< region end: PC-checkpointing store + region-ID bump
+    CkptStore,  ///< checkpoint register rs1 to its slot in PM
+
+    Nop,
+};
+
+/** @return true if @p op writes a destination register. */
+constexpr bool
+writesReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::Movi:
+      case Opcode::Mov:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::AddI:
+      case Opcode::MulI:
+      case Opcode::Fma:
+      case Opcode::Load:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** @return true if @p op ends a basic block. */
+constexpr bool
+isTerminator(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** @return true if @p op is a conditional branch (has a fallthrough). */
+constexpr bool
+isConditionalBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * @return true if @p op is a store that travels the persist path
+ * (regular stores, checkpoint stores, boundary PC-stores, atomics).
+ */
+constexpr bool
+isPersistentStore(Opcode op)
+{
+    switch (op) {
+      case Opcode::Store:
+      case Opcode::CkptStore:
+      case Opcode::Boundary:
+      case Opcode::AtomicAdd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** @return true if @p op is a synchronization operation (§III-D). */
+constexpr bool
+isSynchronization(Opcode op)
+{
+    switch (op) {
+      case Opcode::Fence:
+      case Opcode::AtomicAdd:
+      case Opcode::LockAcq:
+      case Opcode::LockRel:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Execution latency class in cycles for the timing model. */
+constexpr unsigned
+executeLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mul:
+      case Opcode::MulI:
+        return 3;
+      case Opcode::Div:
+        return 12;
+      case Opcode::Fma:
+        return 4;
+      default:
+        return 1;  // loads get their latency from the memory system
+    }
+}
+
+/** Stable mnemonic for printing/parsing. */
+const char *opcodeName(Opcode op);
+
+/** Parse a mnemonic; returns Nop and sets @p ok false on failure. */
+Opcode opcodeFromName(const char *mnemonic, bool &ok);
+
+} // namespace ir
+} // namespace lwsp
+
+#endif // LWSP_IR_OPCODE_HH

@@ -1,0 +1,376 @@
+#include "text_io.hh"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace lwsp {
+namespace ir {
+
+namespace {
+
+std::string
+regName(Reg r)
+{
+    return "r" + std::to_string(static_cast<unsigned>(r));
+}
+
+std::string
+memOperand(Reg base, std::int64_t off)
+{
+    // Always emit '+' (even for negative offsets, "[r2+-8]") so the
+    // tokenizer can split on it unconditionally.
+    std::ostringstream os;
+    os << '[' << regName(base) << '+' << off << ']';
+    return os.str();
+}
+
+} // namespace
+
+std::string
+formatInstruction(const Module &m, const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::Movi:
+        os << ' ' << regName(inst.rd) << ", " << inst.imm;
+        break;
+      case Opcode::Mov:
+        os << ' ' << regName(inst.rd) << ", " << regName(inst.rs1);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Fma:
+        os << ' ' << regName(inst.rd) << ", " << regName(inst.rs1) << ", "
+           << regName(inst.rs2);
+        break;
+      case Opcode::AddI:
+      case Opcode::MulI:
+        os << ' ' << regName(inst.rd) << ", " << regName(inst.rs1) << ", "
+           << inst.imm;
+        break;
+      case Opcode::Load:
+        os << ' ' << regName(inst.rd) << ", "
+           << memOperand(inst.rs1, inst.imm);
+        break;
+      case Opcode::Store:
+        os << ' ' << memOperand(inst.rs1, inst.imm) << ", "
+           << regName(inst.rs2);
+        break;
+      case Opcode::AtomicAdd:
+        os << ' ' << memOperand(inst.rs1, inst.imm) << ", "
+           << regName(inst.rs2);
+        break;
+      case Opcode::LockAcq:
+      case Opcode::LockRel:
+        os << ' ' << memOperand(inst.rs1, inst.imm);
+        break;
+      case Opcode::Jmp:
+        os << " b" << inst.target;
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        os << ' ' << regName(inst.rs1) << ", " << regName(inst.rs2)
+           << ", b" << inst.target << ", b" << inst.fallthru;
+        break;
+      case Opcode::Call:
+        os << " @" << m.function(inst.callee).name();
+        break;
+      case Opcode::CkptStore:
+        os << ' ' << regName(inst.rs1);
+        break;
+      case Opcode::Ret:
+      case Opcode::Halt:
+      case Opcode::Fence:
+      case Opcode::Boundary:
+      case Opcode::Nop:
+        break;
+    }
+    return os.str();
+}
+
+void
+printModule(const Module &m, std::ostream &os)
+{
+    for (FuncId f = 0; f < m.numFunctions(); ++f) {
+        const Function &fn = m.function(f);
+        os << "func @" << fn.name() << '\n';
+        for (const auto &[header, trips] : fn.loopTripCounts())
+            os << "  trip b" << header << ' ' << trips << '\n';
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            os << "block " << b << ":\n";
+            for (const auto &inst : fn.block(b).insts())
+                os << "    " << formatInstruction(m, inst) << '\n';
+        }
+    }
+    for (const auto &[addr, value] : m.initialData())
+        os << "data 0x" << std::hex << addr << std::dec << ' ' << value
+           << '\n';
+}
+
+std::string
+moduleToString(const Module &m)
+{
+    std::ostringstream os;
+    printModule(m, os);
+    return os.str();
+}
+
+namespace {
+
+/** Splits a line into bare tokens, treating , [ ] + as separators but
+ *  keeping '-' attached to numbers. "[r2+8]" -> "r2" "8". */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    auto flush = [&] {
+        if (!cur.empty()) {
+            out.push_back(cur);
+            cur.clear();
+        }
+    };
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == ';')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+            c == '[' || c == ']' || c == ':') {
+            flush();
+        } else if (c == '+') {
+            flush();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    flush();
+    return out;
+}
+
+struct PendingCall
+{
+    FuncId func;
+    BlockId block;
+    std::size_t inst_index;
+    std::string callee_name;
+    int line_no;
+};
+
+[[noreturn]] void
+parseError(int line_no, const std::string &msg)
+{
+    fatal("IR parse error at line ", line_no, ": ", msg);
+}
+
+Reg
+parseReg(const std::string &tok, int line_no)
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        parseError(line_no, "expected register, got '" + tok + "'");
+    unsigned long v = std::stoul(tok.substr(1));
+    if (v >= numGprs)
+        parseError(line_no, "register out of range: " + tok);
+    return static_cast<Reg>(v);
+}
+
+std::int64_t
+parseImm(const std::string &tok, int line_no)
+{
+    try {
+        return static_cast<std::int64_t>(std::stoll(tok, nullptr, 0));
+    } catch (...) {
+        parseError(line_no, "expected immediate, got '" + tok + "'");
+    }
+}
+
+BlockId
+parseBlockRef(const std::string &tok, int line_no)
+{
+    if (tok.size() < 2 || tok[0] != 'b')
+        parseError(line_no, "expected block ref, got '" + tok + "'");
+    return static_cast<BlockId>(std::stoul(tok.substr(1)));
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+parseModule(const std::string &text)
+{
+    auto m = std::make_unique<Module>();
+    Function *fn = nullptr;
+    BasicBlock *bb = nullptr;
+    std::vector<PendingCall> pending_calls;
+
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto toks = tokenize(line);
+        if (toks.empty())
+            continue;
+
+        if (toks[0] == "func") {
+            if (toks.size() != 2 || toks[1].empty() || toks[1][0] != '@')
+                parseError(line_no, "expected 'func @name'");
+            fn = &m->addFunction(toks[1].substr(1));
+            bb = nullptr;
+            continue;
+        }
+        if (toks[0] == "trip") {
+            if (!fn || toks.size() != 3)
+                parseError(line_no, "expected 'trip bN count'");
+            fn->loopTripCounts()[parseBlockRef(toks[1], line_no)] =
+                static_cast<std::uint64_t>(parseImm(toks[2], line_no));
+            continue;
+        }
+        if (toks[0] == "block") {
+            if (!fn)
+                parseError(line_no, "block outside function");
+            if (toks.size() != 2)
+                parseError(line_no, "expected 'block N:'");
+            BlockId want = static_cast<BlockId>(std::stoul(toks[1]));
+            while (fn->numBlocks() <= want)
+                fn->addBlock();
+            bb = &fn->block(want);
+            continue;
+        }
+        if (toks[0] == "data") {
+            if (toks.size() != 3)
+                parseError(line_no, "expected 'data addr value'");
+            m->initialData().emplace_back(
+                static_cast<Addr>(parseImm(toks[1], line_no)),
+                static_cast<std::uint64_t>(parseImm(toks[2], line_no)));
+            continue;
+        }
+
+        if (!bb)
+            parseError(line_no, "instruction outside block");
+
+        bool ok = false;
+        Opcode op = opcodeFromName(toks[0].c_str(), ok);
+        if (!ok)
+            parseError(line_no, "unknown opcode '" + toks[0] + "'");
+
+        Instruction inst;
+        inst.op = op;
+        auto need = [&](std::size_t n) {
+            if (toks.size() != n + 1)
+                parseError(line_no, "wrong operand count for " + toks[0]);
+        };
+        switch (op) {
+          case Opcode::Movi:
+            need(2);
+            inst.rd = parseReg(toks[1], line_no);
+            inst.imm = parseImm(toks[2], line_no);
+            break;
+          case Opcode::Mov:
+            need(2);
+            inst.rd = parseReg(toks[1], line_no);
+            inst.rs1 = parseReg(toks[2], line_no);
+            break;
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Div:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::Shr:
+          case Opcode::Fma:
+            need(3);
+            inst.rd = parseReg(toks[1], line_no);
+            inst.rs1 = parseReg(toks[2], line_no);
+            inst.rs2 = parseReg(toks[3], line_no);
+            break;
+          case Opcode::AddI:
+          case Opcode::MulI:
+            need(3);
+            inst.rd = parseReg(toks[1], line_no);
+            inst.rs1 = parseReg(toks[2], line_no);
+            inst.imm = parseImm(toks[3], line_no);
+            break;
+          case Opcode::Load:
+            need(3);
+            inst.rd = parseReg(toks[1], line_no);
+            inst.rs1 = parseReg(toks[2], line_no);
+            inst.imm = parseImm(toks[3], line_no);
+            break;
+          case Opcode::Store:
+          case Opcode::AtomicAdd:
+            need(3);
+            inst.rs1 = parseReg(toks[1], line_no);
+            inst.imm = parseImm(toks[2], line_no);
+            inst.rs2 = parseReg(toks[3], line_no);
+            break;
+          case Opcode::LockAcq:
+          case Opcode::LockRel:
+            need(2);
+            inst.rs1 = parseReg(toks[1], line_no);
+            inst.imm = parseImm(toks[2], line_no);
+            break;
+          case Opcode::Jmp:
+            need(1);
+            inst.target = parseBlockRef(toks[1], line_no);
+            break;
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+            need(4);
+            inst.rs1 = parseReg(toks[1], line_no);
+            inst.rs2 = parseReg(toks[2], line_no);
+            inst.target = parseBlockRef(toks[3], line_no);
+            inst.fallthru = parseBlockRef(toks[4], line_no);
+            break;
+          case Opcode::Call: {
+            need(1);
+            if (toks[1].empty() || toks[1][0] != '@')
+                parseError(line_no, "expected '@callee'");
+            pending_calls.push_back({fn->id(), bb->id(),
+                                     bb->insts().size(),
+                                     toks[1].substr(1), line_no});
+            break;
+          }
+          case Opcode::CkptStore:
+            need(1);
+            inst.rs1 = parseReg(toks[1], line_no);
+            break;
+          case Opcode::Ret:
+          case Opcode::Halt:
+          case Opcode::Fence:
+          case Opcode::Boundary:
+          case Opcode::Nop:
+            need(0);
+            break;
+        }
+        bb->append(inst);
+    }
+
+    // Resolve forward-referenced call targets.
+    for (const auto &pc : pending_calls) {
+        FuncId callee = m->findFunction(pc.callee_name);
+        if (callee == invalidFunc)
+            parseError(pc.line_no, "unknown callee '@" + pc.callee_name +
+                                       "'");
+        m->function(pc.func).block(pc.block).insts()[pc.inst_index].callee =
+            callee;
+    }
+    return m;
+}
+
+} // namespace ir
+} // namespace lwsp

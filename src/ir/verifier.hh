@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Structural validity checks for LightIR modules.
+ */
+
+#ifndef LWSP_IR_VERIFIER_HH
+#define LWSP_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace lwsp {
+namespace ir {
+
+/**
+ * Check module well-formedness:
+ *  - every block ends in exactly one terminator, with none mid-block;
+ *  - branch targets and fallthroughs reference existing blocks;
+ *  - call targets reference existing functions;
+ *  - register operands are < numGprs;
+ *  - the module has an entry function whose entry block exists.
+ *
+ * @return list of human-readable problems (empty means valid)
+ */
+std::vector<std::string> verifyModule(const Module &m);
+
+/** verifyModule + panic on the first problem (for tests/tools). */
+void verifyModuleOrDie(const Module &m);
+
+} // namespace ir
+} // namespace lwsp
+
+#endif // LWSP_IR_VERIFIER_HH

@@ -1,0 +1,148 @@
+#include "cache.hh"
+
+namespace lwsp {
+namespace mem {
+
+Cache::Cache(std::string name, const CacheConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg)
+{
+    LWSP_ASSERT(cfg.assoc > 0, "cache assoc must be positive");
+    LWSP_ASSERT(cfg.sizeBytes % (cfg.lineBytes * cfg.assoc) == 0,
+                "cache size not divisible into sets");
+    numSets_ = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
+    LWSP_ASSERT(isPowerOf2(numSets_), "cache sets must be a power of two");
+    lines_.resize(numSets_ * cfg.assoc);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / cfg_.lineBytes) & (numSets_ - 1);
+}
+
+bool
+Cache::present(Addr addr) const
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * cfg_.assoc;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        const Line &l = lines_[base + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * cfg_.assoc;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Line &l = lines_[base + w];
+        if (l.valid && l.tag == tag) {
+            l.valid = false;
+            l.dirty = false;
+        }
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : lines_) {
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+Cache::AccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    AccessResult res;
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * cfg_.assoc;
+    ++clock_;
+
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Line &l = lines_[base + w];
+        if (l.valid && l.tag == tag) {
+            l.lruStamp = clock_;
+            l.dirty = l.dirty || is_write;
+            ++hits_;
+            res.hit = true;
+            return res;
+        }
+    }
+    ++misses_;
+
+    // Choose a victim: invalid way first, else LRU order subject to the
+    // snoop filter for dirty victims.
+    int victim = -1;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (!lines_[base + w].valid) {
+            victim = static_cast<int>(w);
+            break;
+        }
+    }
+
+    if (victim < 0) {
+        // Ways sorted by LRU stamp ascending (oldest first).
+        std::vector<unsigned> order(cfg_.assoc);
+        for (unsigned w = 0; w < cfg_.assoc; ++w)
+            order[w] = w;
+        for (unsigned i = 1; i < cfg_.assoc; ++i) {
+            for (unsigned j = i; j > 0 &&
+                 lines_[base + order[j]].lruStamp <
+                     lines_[base + order[j - 1]].lruStamp; --j) {
+                std::swap(order[j], order[j - 1]);
+            }
+        }
+
+        unsigned scan_limit = cfg_.assoc;
+        if (policy_ == VictimPolicy::Half)
+            scan_limit = (cfg_.assoc + 1) / 2;
+        else if (policy_ == VictimPolicy::Zero)
+            scan_limit = 1;
+
+        bool filter_active = canEvict_ && policy_ != VictimPolicy::None;
+        unsigned tried = 0;
+        for (unsigned idx = 0; idx < cfg_.assoc && victim < 0; ++idx) {
+            unsigned w = order[idx];
+            const Line &cand = lines_[base + w];
+            if (filter_active && cand.dirty && !canEvict_(cand.tag)) {
+                ++bufferConflicts_;
+                ++tried;
+                if (tried >= scan_limit)
+                    break;
+                continue;
+            }
+            victim = static_cast<int>(w);
+            if (idx > 0)
+                res.victimDiverted = true;
+        }
+        if (victim < 0) {
+            // Every scannable way conflicts (or Zero policy): the access
+            // must wait for the front-end buffer to drain.
+            res.blocked = true;
+            --misses_;  // the retry will re-count
+            return res;
+        }
+        if (res.victimDiverted)
+            ++divertedVictims_;
+    }
+
+    Line &l = lines_[base + victim];
+    if (l.valid && l.dirty) {
+        res.evictedDirty = true;
+        res.evictedLine = l.tag;
+    }
+    l.valid = true;
+    l.dirty = is_write;
+    l.tag = tag;
+    l.lruStamp = clock_;
+    return res;
+}
+
+} // namespace mem
+} // namespace lwsp

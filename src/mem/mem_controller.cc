@@ -1,0 +1,343 @@
+#include "mem_controller.hh"
+
+#include <string>
+
+#include "noc/noc.hh"
+
+namespace lwsp {
+namespace mem {
+
+MemController::MemController(McId id, const McConfig &cfg, MemImage &pm,
+                             noc::Noc &noc_net)
+    : Clocked("mc" + std::to_string(id)), id_(id), cfg_(cfg), pm_(pm),
+      noc_(noc_net), wpq_(cfg.wpqEntries),
+      dramCache_("mc" + std::to_string(id) + ".dramcache", cfg.dramCache)
+{
+    LWSP_ASSERT(cfg.numMcs >= 1 && cfg.numMcs <= 32, "bad MC count");
+}
+
+std::uint32_t
+MemController::peerMask() const
+{
+    std::uint32_t all = (cfg_.numMcs >= 32) ? ~0u
+                                            : ((1u << cfg_.numMcs) - 1);
+    return all & ~(1u << id_);
+}
+
+bool
+MemController::ready(RegionId r) const
+{
+    if (r < flushId_)
+        return true;  // already committed (state erased)
+    auto it = regions_.find(r);
+    if (it == regions_.end() || !it->second.bdryArrived)
+        return false;
+    return (it->second.bdryAcks & peerMask()) == peerMask();
+}
+
+bool
+MemController::canAccept(const PersistEntry &e) const
+{
+    if (!cfg_.gatingEnabled)
+        return !wpq_.full();
+    if (!wpq_.full())
+        return true;
+    // Deadlock fallback: the draining region's own stores may softly
+    // overflow so its boundary can eventually arrive.
+    return fallbackActive_ && e.region == drainCursor_;
+}
+
+void
+MemController::accept(const PersistEntry &e, Tick now)
+{
+    (void)now;
+    bool overflow = wpq_.full();
+    LWSP_ASSERT(canAccept(e), "accept() without canAccept()");
+    wpq_.push(e, overflow);
+    if (overflow)
+        ++overflowEvents_;
+    maxWpqOccupancy_ = std::max(maxWpqOccupancy_, wpq_.size());
+}
+
+void
+MemController::sendToPeers(McMsg::Type type, RegionId r, Tick now)
+{
+    McMsg msg;
+    msg.type = type;
+    msg.region = r;
+    msg.from = id_;
+    for (McId mc = 0; mc < cfg_.numMcs; ++mc) {
+        if (mc != id_)
+            noc_.send(mc, msg, now);
+    }
+}
+
+void
+MemController::receive(const McMsg &msg, Tick now)
+{
+    switch (msg.type) {
+      case McMsg::Type::BdryArrival: {
+        RegionState &st = state(msg.region);
+        st.bdryArrived = true;
+        if (!st.bdryAckSent) {
+            st.bdryAckSent = true;
+            sendToPeers(McMsg::Type::BdryAck, msg.region, now);
+        }
+        // Fallback ends once the awaited boundary shows up; the undo log
+        // is retained until the region is provably committed (ready).
+        if (fallbackActive_ && msg.region == drainCursor_)
+            fallbackActive_ = false;
+        break;
+      }
+      case McMsg::Type::BdryAck:
+        state(msg.region).bdryAcks |= (1u << msg.from);
+        break;
+      case McMsg::Type::FlushAck:
+        state(msg.region).flushAcks |= (1u << msg.from);
+        maybeAdvanceFlushId();
+        break;
+    }
+}
+
+void
+MemController::maybeAdvanceFlushId()
+{
+    while (true) {
+        auto it = regions_.find(flushId_);
+        if (it == regions_.end())
+            break;
+        const RegionState &st = it->second;
+        if (!st.localFlushDone ||
+            (st.flushAcks & peerMask()) != peerMask()) {
+            break;
+        }
+        regions_.erase(it);
+        ++flushId_;
+        ++regionsCommitted_;
+    }
+}
+
+void
+MemController::flushEntryToPm(const PersistEntry &e, bool fallback)
+{
+    ++flushedEntries_;
+
+    auto it = shadows_.find(e.addr);
+    if (it != shadows_.end()) {
+        // Tainted address: record the write; PM itself only holds the
+        // newest-region value (an older in-flight store arriving after a
+        // younger fallback write must not clobber it).
+        Shadow &sh = it->second;
+        sh.writes.emplace_back(e.region, e.value);
+        if (fallback)
+            ++fallbackFlushes_;
+        if (e.region >= sh.maxRegion) {
+            sh.maxRegion = e.region;
+            if (traceHook_)
+                traceHook_(fallback ? 1 : 0, e.addr, e.value, e.region);
+            pm_.write(e.addr, e.value);
+        } else if (traceHook_) {
+            traceHook_(2, e.addr, e.value, e.region);
+        }
+        return;
+    }
+
+    if (fallback) {
+        // First out-of-order write to this address: capture the
+        // committed pre-image before tainting it.
+        Shadow sh;
+        sh.base = pm_.read(e.addr);
+        sh.maxRegion = e.region;
+        sh.writes.emplace_back(e.region, e.value);
+        shadows_.emplace(e.addr, std::move(sh));
+        ++fallbackFlushes_;
+    }
+    if (traceHook_)
+        traceHook_(fallback ? 1 : 0, e.addr, e.value, e.region);
+    pm_.write(e.addr, e.value);
+}
+
+void
+MemController::finishLocalFlush(RegionId r, Tick now)
+{
+    RegionState &st = state(r);
+    if (st.localFlushDone)
+        return;
+    st.localFlushDone = true;
+    st.flushAcks |= (1u << id_);
+    sendToPeers(McMsg::Type::FlushAck, r, now);
+    maybeAdvanceFlushId();
+}
+
+void
+MemController::tick(Tick now)
+{
+    if (!cfg_.gatingEnabled) {
+        // Plain FIFO persist buffer: drain the head at the PM write rate.
+        if (now >= nextDrainTick_ && !wpq_.empty()) {
+            for (unsigned b = 0; b < cfg_.drainBurst && !wpq_.empty(); ++b)
+                flushEntryToPm(*wpq_.popFront(), false);
+            nextDrainTick_ = now + cfg_.drainInterval;
+        }
+        return;
+    }
+
+    // Skip past ready regions with no local entries (no drain cost).
+    while (ready(drainCursor_) && !wpq_.hasRegion(drainCursor_)) {
+        bool may_advance = true;
+        if (cfg_.strictFlushAcks) {
+            may_advance =
+                (state(drainCursor_).flushAcks & peerMask()) == peerMask();
+        }
+        finishLocalFlush(drainCursor_, now);
+        if (!may_advance)
+            return;
+        ++drainCursor_;
+        pruneCommittedShadows();
+    }
+
+    if (now < nextDrainTick_)
+        return;
+
+    RegionId r = drainCursor_;
+    if (ready(r)) {
+        bool flushed = false;
+        for (unsigned b = 0; b < cfg_.drainBurst; ++b) {
+            if (auto e = wpq_.popRegion(r)) {
+                flushEntryToPm(*e, false);
+                flushed = true;
+            } else {
+                break;
+            }
+        }
+        if (flushed)
+            nextDrainTick_ = now + cfg_.drainInterval;
+        if (!wpq_.hasRegion(r))
+            finishLocalFlush(r, now);
+        return;
+    }
+
+    // Region r is not yet flush-eligible. If the WPQ has filled and r's
+    // boundary has not even arrived, the persist paths may be blocked on
+    // us: enter the undo-logged overflow fallback (§IV-D). The awaited
+    // region's own entries go first; when it has none here, the oldest
+    // region present is flushed instead — that is what unblocks the FIFO
+    // paths carrying the missing boundary. Entries of the oldest present
+    // region can never conflict with an older entry still in this WPQ,
+    // and conflicts with late-arriving older in-flight entries are
+    // absorbed by the undo pre-image update in flushEntryToPm().
+    auto it = regions_.find(r);
+    bool bdry_here = (it != regions_.end() && it->second.bdryArrived);
+    if (wpq_.full() && !bdry_here) {
+        fallbackActive_ = true;
+        RegionId victim = wpq_.hasRegion(r) ? r : wpq_.minRegion();
+        if (victim != invalidRegion) {
+            if (auto e = wpq_.popRegion(victim)) {
+                flushEntryToPm(*e, true);
+                nextDrainTick_ = now + cfg_.drainInterval;
+            }
+        }
+    }
+}
+
+MemController::LoadResult
+MemController::serveLoadMiss(Addr addr, Tick now)
+{
+    (void)now;
+    LoadResult res;
+    ++loadMisses_;
+
+    if (cfg_.dramCacheEnabled) {
+        auto dc = dramCache_.access(addr, false);
+        // Queue behind earlier fetches: DDR bandwidth.
+        Tick start = std::max(now, nextDcReadSlot_);
+        nextDcReadSlot_ = start + cfg_.dcReadInterval;
+        res.latency += (start - now) + dramCache_.latency();
+        if (dc.hit) {
+            res.dramCacheHit = true;
+            return res;
+        }
+        // Dirty DRAM-cache evictions: silently dropped under WSP (the
+        // persist path is the only write path to PM); timing-free here.
+    }
+
+    // PM read with the WPQ CAM searched in parallel (§IV-H). The CAM
+    // latency (2 cycles) is hidden by the PM access; on a hit the load
+    // must wait for the entry to flush and then re-read PM. PM media
+    // bandwidth is far below DDR's, so fetches queue harder here.
+    Tick pm_start = std::max(now, nextPmReadSlot_);
+    nextPmReadSlot_ = pm_start + cfg_.pmReadInterval;
+    res.latency += (pm_start - now) + cfg_.pmReadCycles;
+    if (cfg_.gatingEnabled && wpq_.search(addr & ~7ull)) {
+        res.wpqHit = true;
+        ++wpqLoadHits_;
+        res.latency += cfg_.pmWriteCycles + cfg_.pmReadCycles;
+    }
+    return res;
+}
+
+bool
+MemController::crashStep(Tick now)
+{
+    bool progress = false;
+    while (ready(drainCursor_)) {
+        RegionId r = drainCursor_;
+        while (auto e = wpq_.popRegion(r)) {
+            flushEntryToPm(*e, false);
+            progress = true;
+        }
+        if (!state(r).localFlushDone) {
+            finishLocalFlush(r, now);
+            progress = true;
+        }
+        ++drainCursor_;
+        pruneCommittedShadows();
+    }
+    return progress;
+}
+
+void
+MemController::pruneCommittedShadows()
+{
+    for (auto it = shadows_.begin(); it != shadows_.end();) {
+        bool all_committed = true;
+        for (const auto &[region, value] : it->second.writes)
+            all_committed = all_committed && region < drainCursor_;
+        if (all_committed) {
+            // PM already holds the newest-region (hence newest committed)
+            // value; the address is clean again.
+            it = shadows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+MemController::crashFinish()
+{
+    // Resolve every fallback-tainted address to the newest write of a
+    // committed region — the crash drain advanced the cursor past the
+    // committed prefix, so regions >= drainCursor_ are unpersisted and
+    // their (possibly chronologically interleaved) writes roll back.
+    for (const auto &[addr, sh] : shadows_) {
+        std::uint64_t value = sh.base;
+        RegionId best = 0;
+        bool found = false;
+        for (const auto &[region, v] : sh.writes) {
+            if (region < drainCursor_ && (!found || region >= best)) {
+                best = region;
+                value = v;
+                found = true;
+            }
+        }
+        if (traceHook_)
+            traceHook_(3, addr, value, best);
+        pm_.write(addr, value);
+    }
+    shadows_.clear();
+    wpq_.clear();
+}
+
+} // namespace mem
+} // namespace lwsp

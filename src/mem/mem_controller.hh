@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Integrated memory controller with LightWSP's gated, battery-backed WPQ.
+ *
+ * The controller realises lazy region-level persist ordering (LRPO,
+ * paper §III-B/IV-B): it learns the execution order of regions from
+ * boundary broadcasts, exchanges bdry-ACKs and flush-ACKs with its peer
+ * MCs, and releases WPQ entries to PM strictly in region-ID order. It also
+ * owns this channel's DRAM cache (Optane-memory-mode style) and serves
+ * LLC load misses with the parallel PM-read + WPQ CAM search of §IV-H.
+ *
+ * Deadlock resolution (§IV-D): when the WPQ fills while the boundary of
+ * the region being drained has not arrived, the controller flushes that
+ * region's entries with undo logging and accepts only that region's
+ * stores (allowing soft overflow) until the boundary shows up.
+ */
+
+#ifndef LWSP_MEM_MEM_CONTROLLER_HH
+#define LWSP_MEM_MEM_CONTROLLER_HH
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/mem_image.hh"
+#include "mem/persist.hh"
+#include "mem/wpq.hh"
+#include "sim/clocked.hh"
+
+namespace lwsp {
+namespace noc {
+class Noc;
+} // namespace noc
+
+namespace mem {
+
+struct McConfig
+{
+    unsigned numMcs = 2;
+    std::size_t wpqEntries = 64;
+    Tick pmReadCycles = 350;        ///< 175 ns at 2 GHz
+    Tick pmWriteCycles = 180;       ///< 90 ns at 2 GHz
+    Tick drainInterval = 1;         ///< cycles between WPQ drain rounds
+    unsigned drainBurst = 2;        ///< entries flushed per round
+    Tick camCycles = 2;             ///< WPQ CAM search (hidden by PM read)
+    bool dramCacheEnabled = true;   ///< false models the ideal-PSP baseline
+    CacheConfig dramCache{16ull * 1024 * 1024, 1, 100};
+    /**
+     * Read-bandwidth modelling: minimum cycles between successive line
+     * fetches served by the DRAM cache (DDR4) and by PM media. The gap
+     * between the two is what makes streaming workloads suffer without a
+     * DRAM cache (the PSP-vs-WSP axis of Fig. 9).
+     */
+    Tick dcReadInterval = 3;        ///< ~38 GB/s DDR4 per MC
+    Tick pmReadInterval = 10;       ///< ~13 GB/s Optane reads per MC
+    Tick pmWriteInterval = 12;      ///< Optane line-write occupancy per MC
+    /**
+     * true  = paper-literal commit: region k+1 flushes only after region
+     *         k's flush-ACK round completes on every MC;
+     * false = relaxed (default): flush k+1 once its bdry-ACKs complete and
+     *         all local entries of k are out (crash drain still completes
+     *         any fully-arrived region, so consistency is preserved).
+     */
+    bool strictFlushAcks = false;
+    /** false = plain FIFO drain with no region gating (non-WSP schemes). */
+    bool gatingEnabled = true;
+};
+
+class MemController : public Clocked, public McEndpoint
+{
+  public:
+    MemController(McId id, const McConfig &cfg, MemImage &pm,
+                  noc::Noc &noc_net);
+
+    McId id() const { return id_; }
+
+    // ---- Persist-path side -------------------------------------------
+    /**
+     * @return true if @p e can enter the WPQ this cycle. Full WPQs decline
+     * everything except (in deadlock fallback) the draining region's own
+     * stores, which may softly overflow.
+     */
+    bool canAccept(const PersistEntry &e) const;
+
+    /** Insert @p e; caller must have checked canAccept(). */
+    void accept(const PersistEntry &e, Tick now);
+
+    // ---- Control plane ------------------------------------------------
+    void receive(const McMsg &msg, Tick now) override;
+
+    void tick(Tick now) override;
+
+    // ---- Load path ------------------------------------------------------
+    struct LoadResult
+    {
+        Tick latency = 0;
+        bool wpqHit = false;
+        bool dramCacheHit = false;
+    };
+
+    /** Serve an LLC (L2) miss for @p addr: DRAM cache, then PM + WPQ CAM. */
+    LoadResult serveLoadMiss(Addr addr, Tick now);
+
+    /**
+     * Account direct PM write-line traffic (ideal-PSP mode: with no DRAM
+     * cache, store lines hit the PM device and delay its reads).
+     */
+    void
+    pmWriteTraffic(Tick now)
+    {
+        nextPmReadSlot_ =
+            std::max(now, nextPmReadSlot_) + cfg_.pmWriteInterval;
+    }
+
+    // ---- Power failure ---------------------------------------------------
+    /**
+     * One quiescence iteration of the recovery drain (paper §IV-F steps
+     * 2-5): flush every ready region. @return true if progress was made.
+     */
+    bool crashStep(Tick now);
+
+    /** Step 6 + undo restore: discard unpersisted entries. */
+    void crashFinish();
+
+    // ---- Introspection ---------------------------------------------------
+    RegionId flushId() const { return flushId_; }
+    RegionId drainCursor() const { return drainCursor_; }
+    const Wpq &wpq() const { return wpq_; }
+    Cache &dramCache() { return dramCache_; }
+    bool inFallback() const { return fallbackActive_; }
+
+    /**
+     * Test/diagnostic hook invoked on every PM-affecting event:
+     * kind 0 = normal flush, 1 = fallback flush, 2 = skipped (absorbed
+     * into an undo pre-image), 3 = crash undo restore.
+     */
+    using FlushTraceHook =
+        std::function<void(int kind, Addr addr, std::uint64_t value,
+                           RegionId region)>;
+    void setFlushTraceHook(FlushTraceHook hook)
+    {
+        traceHook_ = std::move(hook);
+    }
+
+    void
+    resetStats()
+    {
+        wpqLoadHits_ = loadMisses_ = flushedEntries_ = 0;
+        fallbackFlushes_ = overflowEvents_ = regionsCommitted_ = 0;
+        maxWpqOccupancy_ = 0;
+        dramCache_.resetStats();
+    }
+
+    std::uint64_t wpqLoadHits() const { return wpqLoadHits_; }
+    std::uint64_t loadMisses() const { return loadMisses_; }
+    std::uint64_t flushedEntries() const { return flushedEntries_; }
+    std::uint64_t fallbackFlushes() const { return fallbackFlushes_; }
+    std::uint64_t overflowEvents() const { return overflowEvents_; }
+    std::uint64_t regionsCommitted() const { return regionsCommitted_; }
+    std::size_t maxWpqOccupancy() const { return maxWpqOccupancy_; }
+
+  private:
+    struct RegionState
+    {
+        bool bdryArrived = false;
+        std::uint32_t bdryAcks = 0;   ///< bitmask of peer MCs
+        std::uint32_t flushAcks = 0;  ///< bitmask incl. self
+        bool localFlushDone = false;
+        bool bdryAckSent = false;
+    };
+
+    RegionState &state(RegionId r) { return regions_[r]; }
+
+    /** All peers' bdry-ACKs plus our own arrival: safe to flush. */
+    bool ready(RegionId r) const;
+
+    std::uint32_t peerMask() const;
+
+    void sendToPeers(McMsg::Type type, RegionId r, Tick now);
+
+    /** Mark region @p r locally flushed; exchange flush-ACKs; advance. */
+    void finishLocalFlush(RegionId r, Tick now);
+
+    void maybeAdvanceFlushId();
+
+    /**
+     * Release one entry to PM. Fallback flushes are undo-logged; any
+     * flush (normal or fallback) of an entry older than a fallback write
+     * to the same address updates that write's undo pre-image instead of
+     * touching PM, so region-ordered final values and crash restoration
+     * both stay correct despite the out-of-order fallback.
+     */
+    void flushEntryToPm(const PersistEntry &e, bool fallback);
+
+    /** De-taint addresses whose shadow writes are all committed. */
+    void pruneCommittedShadows();
+
+    McId id_;
+    McConfig cfg_;
+    MemImage &pm_;
+    noc::Noc &noc_;
+    Wpq wpq_;
+    Cache dramCache_;
+
+    std::map<RegionId, RegionState> regions_;
+    RegionId drainCursor_ = 1;  ///< next region to drain locally
+    RegionId flushId_ = 1;      ///< persistent register (committed prefix)
+    Tick nextDrainTick_ = 0;
+    Tick nextDcReadSlot_ = 0;   ///< DRAM-cache read-bandwidth cursor
+    Tick nextPmReadSlot_ = 0;   ///< PM read-bandwidth cursor
+
+    /**
+     * Battery-backed shadow of a fallback-tainted address: the pre-taint
+     * value plus every subsequent write (region, value) in flush order.
+     * At a crash the address resolves to the newest write of a committed
+     * region (or the base value when none committed) — uncommitted
+     * fallback writes are thereby rolled back and committed writes that
+     * were chronologically overtaken are reinstated.
+     */
+    struct Shadow
+    {
+        std::uint64_t base = 0;
+        RegionId maxRegion = 0;  ///< newest region that reached PM
+        std::vector<std::pair<RegionId, std::uint64_t>> writes;
+    };
+
+    bool fallbackActive_ = false;
+    std::map<Addr, Shadow> shadows_;
+
+    FlushTraceHook traceHook_;
+    std::uint64_t wpqLoadHits_ = 0;
+    std::uint64_t loadMisses_ = 0;
+    std::uint64_t flushedEntries_ = 0;
+    std::uint64_t fallbackFlushes_ = 0;
+    std::uint64_t overflowEvents_ = 0;
+    std::uint64_t regionsCommitted_ = 0;
+    std::size_t maxWpqOccupancy_ = 0;
+};
+
+} // namespace mem
+} // namespace lwsp
+
+#endif // LWSP_MEM_MEM_CONTROLLER_HH

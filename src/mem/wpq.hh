@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The battery-backed write pending queue (WPQ) used as LightWSP's redo
+ * buffer. Entries are 8B granules tagged with region IDs; the owning
+ * memory controller flushes them to PM strictly in region order. Supports
+ * the CAM operations the paper needs: per-address search for LLC-miss
+ * handling (§IV-H) and line-granular conflict checks.
+ */
+
+#ifndef LWSP_MEM_WPQ_HH
+#define LWSP_MEM_WPQ_HH
+
+#include <deque>
+#include <optional>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+#include "mem/persist.hh"
+
+namespace lwsp {
+namespace mem {
+
+class Wpq
+{
+  public:
+    explicit Wpq(std::size_t capacity) : capacity_(capacity)
+    {
+        LWSP_ASSERT(capacity > 0, "WPQ capacity must be positive");
+    }
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Insert an entry. @p allow_overflow permits exceeding capacity,
+     * which the deadlock-resolution fallback needs (paper §IV-D
+     * "exceptionally lets the WPQ overflow").
+     */
+    void
+    push(const PersistEntry &e, bool allow_overflow = false)
+    {
+        LWSP_ASSERT(allow_overflow || !full(),
+                    "WPQ overflow without fallback");
+        entries_.push_back(e);
+    }
+
+    /** Pop the overall oldest entry (ungated FIFO mode). */
+    std::optional<PersistEntry>
+    popFront()
+    {
+        if (entries_.empty())
+            return std::nullopt;
+        PersistEntry e = entries_.front();
+        entries_.pop_front();
+        return e;
+    }
+
+    /**
+     * CAM search: newest entry matching the 8B address (the value a load
+     * would need). @return the entry value, or nullopt on miss.
+     */
+    std::optional<std::uint64_t>
+    search(Addr addr) const
+    {
+        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+            if (it->addr == addr)
+                return it->value;
+        }
+        return std::nullopt;
+    }
+
+    /** @return true if any entry falls within the cacheline at @p line. */
+    bool
+    containsLine(Addr line) const
+    {
+        for (const auto &e : entries_) {
+            if (alignDown(e.addr, cachelineBytes) == line)
+                return true;
+        }
+        return false;
+    }
+
+    /** Smallest region id present; invalidRegion when empty. */
+    RegionId
+    minRegion() const
+    {
+        RegionId min = invalidRegion;
+        for (const auto &e : entries_) {
+            if (e.region < min)
+                min = e.region;
+        }
+        return min;
+    }
+
+    bool
+    hasRegion(RegionId r) const
+    {
+        for (const auto &e : entries_) {
+            if (e.region == r)
+                return true;
+        }
+        return false;
+    }
+
+    /** Pop the oldest entry of region @p r (FIFO within a region). */
+    std::optional<PersistEntry>
+    popRegion(RegionId r)
+    {
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->region == r) {
+                PersistEntry e = *it;
+                entries_.erase(it);
+                return e;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Drop every entry with region id > @p r (crash: unpersisted). */
+    std::size_t
+    discardRegionsAbove(RegionId r)
+    {
+        std::size_t dropped = 0;
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->region > r) {
+                it = entries_.erase(it);
+                ++dropped;
+            } else {
+                ++it;
+            }
+        }
+        return dropped;
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &e : entries_)
+            fn(e);
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<PersistEntry> entries_;
+};
+
+} // namespace mem
+} // namespace lwsp
+
+#endif // LWSP_MEM_WPQ_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal on-chip network for the LRPO control plane.
+ *
+ * Carries boundary broadcasts (router -> every MC) and the bdry-ACK /
+ * flush-ACK exchanges between MCs, each with a fixed hop latency. Per the
+ * paper (§IV-B), MC-to-MC ACKs ride battery-backed links: on power failure
+ * `deliverAllNow()` drains them so in-flight ACKs still reach their
+ * targets, while anything a core had in flight simply dies with the core.
+ */
+
+#ifndef LWSP_NOC_NOC_HH
+#define LWSP_NOC_NOC_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/persist.hh"
+#include "sim/clocked.hh"
+#include "sim/delay_line.hh"
+
+namespace lwsp {
+namespace noc {
+
+class Noc : public Clocked
+{
+  public:
+    Noc(unsigned num_mcs, Tick hop_latency)
+        : Clocked("noc"), hopLatency_(hop_latency), inboxes_(num_mcs)
+    {
+    }
+
+    /** Register MC endpoints after construction (index = McId). */
+    void
+    attach(std::vector<mem::McEndpoint *> endpoints)
+    {
+        LWSP_ASSERT(endpoints.size() == inboxes_.size(),
+                    "endpoint count mismatch");
+        endpoints_ = std::move(endpoints);
+    }
+
+    unsigned numMcs() const { return static_cast<unsigned>(inboxes_.size()); }
+
+    /** MC-to-MC unicast (ACKs). */
+    void
+    send(McId to, const mem::McMsg &msg, Tick now)
+    {
+        LWSP_ASSERT(to < inboxes_.size(), "bad MC id");
+        inboxes_[to].push(now, hopLatency_, msg);
+        ++messagesSent_;
+    }
+
+    /** Router broadcast of a region boundary to every MC. */
+    void
+    broadcastBoundary(RegionId region, Tick now)
+    {
+        mem::McMsg msg;
+        msg.type = mem::McMsg::Type::BdryArrival;
+        msg.region = region;
+        for (McId mc = 0; mc < inboxes_.size(); ++mc)
+            send(mc, msg, now);
+        ++boundariesBroadcast_;
+    }
+
+    void
+    tick(Tick now) override
+    {
+        for (McId mc = 0; mc < inboxes_.size(); ++mc) {
+            while (inboxes_[mc].headReady(now)) {
+                mem::McMsg msg = inboxes_[mc].pop();
+                endpoints_.at(mc)->receive(msg, now);
+            }
+        }
+    }
+
+    /**
+     * Power failure: the MC-resident battery guarantees in-flight control
+     * messages reach their targets (paper §IV-B/F step 1).
+     */
+    void
+    deliverAllNow(Tick now)
+    {
+        for (McId mc = 0; mc < inboxes_.size(); ++mc) {
+            while (!inboxes_[mc].empty()) {
+                mem::McMsg msg = inboxes_[mc].pop();
+                endpoints_.at(mc)->receive(msg, now);
+            }
+        }
+    }
+
+    std::uint64_t messagesSent() const { return messagesSent_; }
+    std::uint64_t boundariesBroadcast() const
+    {
+        return boundariesBroadcast_;
+    }
+
+  private:
+    Tick hopLatency_;
+    std::vector<DelayLine<mem::McMsg>> inboxes_;
+    std::vector<mem::McEndpoint *> endpoints_;
+    std::uint64_t messagesSent_ = 0;
+    std::uint64_t boundariesBroadcast_ = 0;
+};
+
+} // namespace noc
+} // namespace lwsp
+
+#endif // LWSP_NOC_NOC_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Cycle-stepped component interface.
+ *
+ * LightWSP's queues (store buffer, front-end buffer, persist path, WPQ, NoC
+ * links) are tightly coupled with back-pressure flowing the whole way from
+ * the memory controller to the core pipeline, so the simulation kernel steps
+ * every component one cycle at a time rather than using a sparse event
+ * queue. Components implement Clocked and are registered with a Simulator.
+ */
+
+#ifndef LWSP_SIM_CLOCKED_HH
+#define LWSP_SIM_CLOCKED_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace lwsp {
+
+/** A component advanced once per core clock cycle. */
+class Clocked
+{
+  public:
+    explicit Clocked(std::string name) : name_(std::move(name)) {}
+    virtual ~Clocked() = default;
+
+    Clocked(const Clocked &) = delete;
+    Clocked &operator=(const Clocked &) = delete;
+
+    /** Advance one cycle. @p now is the cycle being executed. */
+    virtual void tick(Tick now) = 0;
+
+    /** Instance name for logging/statistics. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace lwsp
+
+#endif // LWSP_SIM_CLOCKED_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * CFG analyses: predecessors/successors, reverse post-order,
+ * reachability, dominators, and natural loop detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/cfg.hh"
+#include "ir/program.hh"
+
+using namespace lwsp;
+using namespace lwsp::ir;
+
+namespace {
+
+/** Diamond: 0 -> {1, 2} -> 3. */
+std::unique_ptr<Module>
+diamond()
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b0 = f.addBlock();
+    BasicBlock &b1 = f.addBlock();
+    BasicBlock &b2 = f.addBlock();
+    BasicBlock &b3 = f.addBlock();
+    b0.append(Instruction::branch(Opcode::Beq, 1, 2, b1.id(), b2.id()));
+    b1.append(Instruction::jmp(b3.id()));
+    b2.append(Instruction::jmp(b3.id()));
+    b3.append(Instruction::simple(Opcode::Halt));
+    return m;
+}
+
+/** Loop: 0 -> 1; 1 -> {1, 2}. Block 1 stores (for loop detection use). */
+std::unique_ptr<Module>
+selfLoop()
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b0 = f.addBlock();
+    BasicBlock &b1 = f.addBlock();
+    BasicBlock &b2 = f.addBlock();
+    b0.append(Instruction::jmp(b1.id()));
+    b1.append(Instruction::store(1, 0, 2));
+    b1.append(Instruction::aluImm(Opcode::AddI, 3, 3, 1));
+    b1.append(Instruction::branch(Opcode::Blt, 3, 4, b1.id(), b2.id()));
+    b2.append(Instruction::simple(Opcode::Halt));
+    return m;
+}
+
+/** Nested loops: 0 -> 1(outer hdr) -> 2(inner) -> {2, 1} ; 1 -> 3. */
+std::unique_ptr<Module>
+nestedLoops()
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b0 = f.addBlock();
+    BasicBlock &b1 = f.addBlock();
+    BasicBlock &b2 = f.addBlock();
+    BasicBlock &b3 = f.addBlock();
+    b0.append(Instruction::jmp(b1.id()));
+    b1.append(Instruction::branch(Opcode::Blt, 1, 2, b2.id(), b3.id()));
+    b2.append(Instruction::branch(Opcode::Blt, 3, 4, b2.id(), b1.id()));
+    b3.append(Instruction::simple(Opcode::Halt));
+    return m;
+}
+
+} // namespace
+
+TEST(Cfg, DiamondEdges)
+{
+    auto m = diamond();
+    Cfg cfg(m->function(0));
+    EXPECT_EQ(cfg.successors(0).size(), 2u);
+    EXPECT_EQ(cfg.predecessors(3).size(), 2u);
+    EXPECT_EQ(cfg.predecessors(0).size(), 0u);
+    for (BlockId b = 0; b < 4; ++b)
+        EXPECT_TRUE(cfg.reachable(b));
+}
+
+TEST(Cfg, RpoStartsAtEntryEndsAtExit)
+{
+    auto m = diamond();
+    Cfg cfg(m->function(0));
+    const auto &rpo = cfg.reversePostOrder();
+    ASSERT_EQ(rpo.size(), 4u);
+    EXPECT_EQ(rpo.front(), 0u);
+    EXPECT_EQ(rpo.back(), 3u);
+}
+
+TEST(Cfg, UnreachableBlockDetected)
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b0 = f.addBlock();
+    BasicBlock &b1 = f.addBlock();  // orphan
+    b0.append(Instruction::simple(Opcode::Halt));
+    b1.append(Instruction::simple(Opcode::Halt));
+    Cfg cfg(f);
+    EXPECT_TRUE(cfg.reachable(0));
+    EXPECT_FALSE(cfg.reachable(1));
+}
+
+TEST(Dominators, Diamond)
+{
+    auto m = diamond();
+    Cfg cfg(m->function(0));
+    DominatorTree dt(cfg);
+    EXPECT_TRUE(dt.dominates(0, 1));
+    EXPECT_TRUE(dt.dominates(0, 2));
+    EXPECT_TRUE(dt.dominates(0, 3));
+    EXPECT_FALSE(dt.dominates(1, 3));  // join reached around block 1
+    EXPECT_FALSE(dt.dominates(2, 3));
+    EXPECT_TRUE(dt.dominates(3, 3));   // reflexive
+    EXPECT_EQ(dt.idom(3), 0u);
+}
+
+TEST(Dominators, LoopHeaderDominatesBody)
+{
+    auto m = nestedLoops();
+    Cfg cfg(m->function(0));
+    DominatorTree dt(cfg);
+    EXPECT_TRUE(dt.dominates(1, 2));
+    EXPECT_TRUE(dt.dominates(1, 3));
+    EXPECT_FALSE(dt.dominates(2, 1));
+}
+
+TEST(Loops, SelfLoopFound)
+{
+    auto m = selfLoop();
+    Cfg cfg(m->function(0));
+    DominatorTree dt(cfg);
+    auto loops = findNaturalLoops(cfg, dt);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header, 1u);
+    EXPECT_TRUE(loops[0].contains(1));
+    EXPECT_FALSE(loops[0].contains(2));
+    ASSERT_EQ(loops[0].latches.size(), 1u);
+    EXPECT_EQ(loops[0].latches[0], 1u);
+}
+
+TEST(Loops, NestedLoopsFound)
+{
+    auto m = nestedLoops();
+    Cfg cfg(m->function(0));
+    DominatorTree dt(cfg);
+    auto loops = findNaturalLoops(cfg, dt);
+    ASSERT_EQ(loops.size(), 2u);
+    // Outer loop headed at 1 contains 2; inner loop headed at 2.
+    const Loop *outer = nullptr, *inner = nullptr;
+    for (const auto &l : loops) {
+        if (l.header == 1)
+            outer = &l;
+        if (l.header == 2)
+            inner = &l;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_TRUE(outer->contains(2));
+    EXPECT_FALSE(inner->contains(1));
+}
+
+TEST(Loops, AcyclicHasNone)
+{
+    auto m = diamond();
+    Cfg cfg(m->function(0));
+    DominatorTree dt(cfg);
+    EXPECT_TRUE(findNaturalLoops(cfg, dt).empty());
+}

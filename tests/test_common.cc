@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG determinism, statistics,
+ * integer math, logging and unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+using namespace lwsp;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceZeroAndOne)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(96));
+}
+
+TEST(IntMath, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+    EXPECT_THROW(floorLog2(0), PanicError);
+}
+
+TEST(IntMath, Alignment)
+{
+    EXPECT_EQ(alignDown(0x12345, 64), 0x12340u);
+    EXPECT_EQ(alignUp(0x12345, 64), 0x12380u);
+    EXPECT_EQ(alignDown(0x100, 64), 0x100u);
+    EXPECT_EQ(alignUp(0x100, 64), 0x100u);
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+}
+
+TEST(Types, NsToCycles)
+{
+    EXPECT_EQ(nsToCycles(20.0), 40u);   // 20 ns @ 2 GHz
+    EXPECT_EQ(nsToCycles(0.99), 2u);    // CAM search rounds up
+    EXPECT_EQ(nsToCycles(175.0), 350u); // PM read
+}
+
+TEST(Types, BandwidthToCycles)
+{
+    // 8B at 4 GB/s = 2 ns = 4 cycles at 2 GHz.
+    EXPECT_EQ(bandwidthToCyclesPerGranule(4.0), 4u);
+    EXPECT_EQ(bandwidthToCyclesPerGranule(2.0), 8u);
+    EXPECT_EQ(bandwidthToCyclesPerGranule(1.0), 16u);
+    EXPECT_GE(bandwidthToCyclesPerGranule(1000.0), 1u);  // floor of 1
+}
+
+TEST(Logging, PanicAndFatalThrow)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    try {
+        panic("value=", 7);
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7"),
+                  std::string::npos);
+    }
+}
+
+TEST(Stats, ScalarBasics)
+{
+    stats::Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageTracksMinMaxMean)
+{
+    stats::Average a;
+    a.sample(2);
+    a.sample(8);
+    a.sample(5);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 8.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    stats::Distribution d(0, 100, 10);
+    d.sample(-5);
+    d.sample(5);
+    d.sample(15);
+    d.sample(95);
+    d.sample(150);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.buckets()[9], 1u);
+    EXPECT_EQ(d.summary().count(), 5u);
+    d.reset();
+    EXPECT_EQ(d.summary().count(), 0u);
+}
+
+TEST(Stats, GeomeanKnownValues)
+{
+    EXPECT_NEAR(stats::geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(stats::geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_THROW(stats::geomean({}), PanicError);
+    EXPECT_THROW(stats::geomean({1.0, -1.0}), PanicError);
+}
+
+TEST(Stats, StatGroupDumpAndLookup)
+{
+    stats::StatGroup g("mc0");
+    stats::Scalar s;
+    s += 7;
+    g.addScalar("flushes", &s, "WPQ flushes");
+    EXPECT_DOUBLE_EQ(g.scalarValue("flushes"), 7.0);
+    EXPECT_THROW(g.scalarValue("nope"), PanicError);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("mc0.flushes 7"), std::string::npos);
+    EXPECT_NE(os.str().find("WPQ flushes"), std::string::npos);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Adversarial crash-recovery stress: tiny WPQs force the deadlock
+ * fallback (undo-logged overflow, §IV-D) onto the hot path, and the
+ * strict flush-ACK commit mode is swept as well. Recovery must still
+ * reproduce the golden state from every crash point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "compiler/compiler.hh"
+#include "core/system.hh"
+#include "workloads/generator.hh"
+
+using namespace lwsp;
+
+namespace {
+
+workloads::Workload
+stressWorkload(unsigned threads)
+{
+    workloads::WorkloadProfile p;
+    p.name = "stress";
+    p.suite = "TEST";
+    p.threads = threads;
+    p.footprintBytes = 32 * 1024;
+    p.hotBytes = 8 * 1024;
+    p.locality = 0.5;
+    p.branchMissRate = 0.0;
+    workloads::PhaseSpec ph;
+    ph.pattern = workloads::PhaseSpec::Pattern::Random;
+    ph.loads = 1;
+    ph.stores = 3;  // store-dense: WPQ pressure
+    ph.alus = 2;
+    ph.trip = 64;
+    ph.reps = 2;
+    ph.lockedRmw = threads > 1;
+    p.phases.push_back(ph);
+    return workloads::generate(p);
+}
+
+void
+crashSweep(core::SystemConfig cfg, unsigned threads, unsigned threshold,
+           bool expect_fallback)
+{
+    setLogQuiet(true);
+    auto w = stressWorkload(threads);
+    auto lock_addrs = w.lockAddrs;
+    std::size_t footprint = w.profile.footprintBytes;
+
+    compiler::CompilerConfig ccfg;
+    ccfg.storeThreshold = threshold;
+    compiler::LightWspCompiler comp(ccfg);
+    auto prog = comp.compile(std::move(w.module));
+
+    core::System golden(cfg, prog, threads);
+    auto gr = golden.run();
+    ASSERT_TRUE(gr.completed);
+    if (expect_fallback) {
+        EXPECT_GT(gr.wpqFallbackFlushes + gr.wpqOverflowEvents, 0u)
+            << "stress config did not exercise the fallback";
+    }
+
+    for (double f : {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}) {
+        core::System victim(cfg, prog, threads);
+        auto vr =
+            victim.runWithPowerFailure(static_cast<Tick>(f * gr.cycles));
+        if (vr.completed)
+            continue;
+        auto rec = core::System::recover(cfg, prog, threads,
+                                         victim.pmImage(), lock_addrs);
+        auto rr = rec->run();
+        ASSERT_TRUE(rr.completed) << "recovery stuck at f=" << f;
+
+        Addr lo = workloads::Workload::heapBase;
+        Addr hi = lo + static_cast<Addr>(threads) * footprint;
+        auto heap = rec->pmImage().diffInRange(golden.pmImage(), lo, hi);
+        EXPECT_TRUE(heap.empty())
+            << "heap diff at f=" << f << " addr=0x" << std::hex
+            << (heap.empty() ? 0 : heap[0]);
+        Addr sh = workloads::Workload::sharedBase;
+        EXPECT_TRUE(rec->pmImage()
+                        .diffInRange(golden.pmImage(), sh, sh + 4096)
+                        .empty())
+            << "shared diff at f=" << f;
+    }
+}
+
+} // namespace
+
+TEST(CrashStress, TinyWpqSingleThread)
+{
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.numCores = 1;
+    cfg.mc.wpqEntries = 8;
+    cfg.core.febEntries = 8;
+    cfg.maxCycles = 50'000'000;
+    cfg.applySchemeDefaults();
+    crashSweep(cfg, 1, /*threshold=*/4, /*expect_fallback=*/false);
+}
+
+TEST(CrashStress, TinyWpqFourThreadsForcesFallback)
+{
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.numCores = 4;
+    cfg.mc.wpqEntries = 8;
+    cfg.core.febEntries = 8;
+    cfg.maxCycles = 50'000'000;
+    cfg.applySchemeDefaults();
+    crashSweep(cfg, 4, /*threshold=*/4, /*expect_fallback=*/true);
+}
+
+TEST(CrashStress, StrictFlushAckMode)
+{
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.numCores = 4;
+    cfg.mc.strictFlushAcks = true;
+    cfg.maxCycles = 50'000'000;
+    cfg.applySchemeDefaults();
+    cfg.mc.strictFlushAcks = true;
+    crashSweep(cfg, 4, /*threshold=*/16, /*expect_fallback=*/false);
+}
+
+TEST(CrashStress, SingleMcConfiguration)
+{
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.numCores = 4;
+    cfg.numMcs = 1;
+    cfg.maxCycles = 50'000'000;
+    cfg.applySchemeDefaults();
+    crashSweep(cfg, 4, /*threshold=*/16, /*expect_fallback=*/false);
+}
+
+TEST(CrashStress, FourMcConfiguration)
+{
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.numCores = 4;
+    cfg.numMcs = 4;
+    cfg.maxCycles = 50'000'000;
+    cfg.applySchemeDefaults();
+    crashSweep(cfg, 4, /*threshold=*/16, /*expect_fallback=*/false);
+}
+
+TEST(CrashStress, OversubscribedThreads)
+{
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.numCores = 2;  // 6 threads on 2 cores: context switching
+    cfg.ctxQuantum = 1500;
+    cfg.maxCycles = 50'000'000;
+    cfg.applySchemeDefaults();
+    crashSweep(cfg, 6, /*threshold=*/16, /*expect_fallback=*/false);
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * LightIR structural tests: instruction constructors, opcode naming,
+ * text round-tripping, the verifier, and PC encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/thread_context.hh"
+#include "ir/program.hh"
+#include "ir/text_io.hh"
+#include "ir/verifier.hh"
+
+using namespace lwsp;
+using namespace lwsp::ir;
+
+namespace {
+
+/** Build a two-function module exercising every operand shape. */
+std::unique_ptr<Module>
+richModule()
+{
+    auto m = std::make_unique<Module>();
+    Function &helper = m->addFunction("helper");
+    {
+        BasicBlock &b = helper.addBlock();
+        b.append(Instruction::aluImm(Opcode::AddI, 3, 3, -8));
+        b.append(Instruction::simple(Opcode::Ret));
+    }
+    Function &main = m->addFunction("main");
+    {
+        BasicBlock &b0 = main.addBlock();
+        BasicBlock &b1 = main.addBlock();
+        BasicBlock &b2 = main.addBlock();
+        b0.append(Instruction::movi(1, 0x1000));
+        b0.append(Instruction::movi(2, 7));
+        b0.append(Instruction::alu(Opcode::Add, 3, 1, 2));
+        b0.append(Instruction::alu(Opcode::Fma, 4, 3, 2));
+        b0.append(Instruction::load(5, 1, 8));
+        b0.append(Instruction::store(1, 16, 5));
+        b0.append(Instruction::atomicAdd(1, 24, 2));
+        b0.append(Instruction::lockOp(Opcode::LockAcq, 1, 0));
+        b0.append(Instruction::lockOp(Opcode::LockRel, 1, 0));
+        b0.append(Instruction::simple(Opcode::Fence));
+        b0.append(Instruction::call(helper.id()));
+        b0.append(Instruction::branch(Opcode::Blt, 3, 2, b1.id(),
+                                      b2.id()));
+        b1.append(Instruction::jmp(b2.id()));
+        b2.append(Instruction::simple(Opcode::Halt));
+    }
+    m->initialData().emplace_back(0x2000, 99);
+    return m;
+}
+
+} // namespace
+
+TEST(Opcode, NameRoundTrip)
+{
+    for (int i = 0; i <= static_cast<int>(Opcode::Nop); ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        bool ok = false;
+        Opcode back = opcodeFromName(opcodeName(op), ok);
+        EXPECT_TRUE(ok) << opcodeName(op);
+        EXPECT_EQ(back, op);
+    }
+    bool ok = true;
+    opcodeFromName("not-an-op", ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Opcode, Classification)
+{
+    EXPECT_TRUE(writesReg(Opcode::Load));
+    EXPECT_FALSE(writesReg(Opcode::Store));
+    EXPECT_TRUE(isTerminator(Opcode::Halt));
+    EXPECT_FALSE(isTerminator(Opcode::Call));
+    EXPECT_TRUE(isConditionalBranch(Opcode::Bge));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jmp));
+    EXPECT_TRUE(isPersistentStore(Opcode::CkptStore));
+    EXPECT_TRUE(isSynchronization(Opcode::LockAcq));
+    EXPECT_FALSE(isSynchronization(Opcode::Store));
+    EXPECT_EQ(executeLatency(Opcode::Div), 12u);
+    EXPECT_EQ(executeLatency(Opcode::Mul), 3u);
+    EXPECT_EQ(executeLatency(Opcode::Add), 1u);
+}
+
+TEST(Program, SuccessorsFollowTerminators)
+{
+    auto m = richModule();
+    const Function &main = m->function(m->findFunction("main"));
+    auto succs0 = main.block(0).successors();
+    ASSERT_EQ(succs0.size(), 2u);
+    EXPECT_EQ(succs0[0], 1u);
+    EXPECT_EQ(succs0[1], 2u);
+    EXPECT_EQ(main.block(1).successors(), std::vector<BlockId>{2});
+    EXPECT_TRUE(main.block(2).successors().empty());
+}
+
+TEST(Program, FindFunction)
+{
+    auto m = richModule();
+    EXPECT_NE(m->findFunction("main"), invalidFunc);
+    EXPECT_EQ(m->findFunction("nonexistent"), invalidFunc);
+}
+
+TEST(TextIo, RoundTripPreservesSemantics)
+{
+    auto m = richModule();
+    std::string text = moduleToString(*m);
+    auto parsed = parseModule(text);
+    // The round-tripped module prints identically.
+    EXPECT_EQ(moduleToString(*parsed), text);
+    EXPECT_TRUE(verifyModule(*parsed).empty());
+    EXPECT_EQ(parsed->initialData().size(), 1u);
+    EXPECT_EQ(parsed->initialData()[0].first, 0x2000u);
+}
+
+TEST(TextIo, NegativeOffsetsRoundTrip)
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b = f.addBlock();
+    b.append(Instruction::load(1, 15, -16));
+    b.append(Instruction::store(15, -8, 1));
+    b.append(Instruction::simple(Opcode::Halt));
+    auto parsed = parseModule(moduleToString(*m));
+    EXPECT_EQ(parsed->function(0).block(0).insts()[0].imm, -16);
+    EXPECT_EQ(parsed->function(0).block(0).insts()[1].imm, -8);
+}
+
+TEST(TextIo, ParseErrorsAreFatal)
+{
+    EXPECT_THROW(parseModule("func main\n"), FatalError);   // missing @
+    EXPECT_THROW(parseModule("block 0:\n"), FatalError);     // no function
+    EXPECT_THROW(parseModule("func @m\nblock 0:\n  bogus\n"),
+                 FatalError);
+    EXPECT_THROW(parseModule("func @m\nblock 0:\n  call @nope\n"),
+                 FatalError);
+    EXPECT_THROW(parseModule("func @m\nblock 0:\n  movi r99, 1\n"),
+                 FatalError);
+}
+
+TEST(TextIo, TripCountMetadataRoundTrips)
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b0 = f.addBlock();
+    b0.append(Instruction::simple(Opcode::Halt));
+    f.loopTripCounts()[0] = 96;
+    auto parsed = parseModule(moduleToString(*m));
+    EXPECT_EQ(parsed->function(0).loopTripCounts().at(0), 96u);
+}
+
+TEST(Verifier, AcceptsValidModule)
+{
+    auto m = richModule();
+    EXPECT_TRUE(verifyModule(*m).empty());
+}
+
+TEST(Verifier, CatchesMissingTerminator)
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b = f.addBlock();
+    b.append(Instruction::movi(1, 1));
+    auto problems = verifyModule(*m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesMidBlockTerminator)
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b = f.addBlock();
+    b.append(Instruction::simple(Opcode::Halt));
+    b.append(Instruction::movi(1, 1));
+    b.append(Instruction::simple(Opcode::Halt));
+    EXPECT_FALSE(verifyModule(*m).empty());
+}
+
+TEST(Verifier, CatchesBadBranchTarget)
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b = f.addBlock();
+    b.append(Instruction::jmp(42));
+    EXPECT_FALSE(verifyModule(*m).empty());
+    EXPECT_THROW(verifyModuleOrDie(*m), PanicError);
+}
+
+TEST(Verifier, CatchesEmptyModuleAndEmptyBlock)
+{
+    Module empty;
+    EXPECT_FALSE(verifyModule(empty).empty());
+
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    f.addBlock();  // empty block
+    EXPECT_FALSE(verifyModule(*m).empty());
+}
+
+TEST(PcEncoding, RoundTrip)
+{
+    cpu::ProgramCounter pc{3, 17, 255};
+    auto decoded = cpu::decodePc(cpu::encodePc(pc));
+    EXPECT_TRUE(decoded == pc);
+
+    cpu::ProgramCounter big{200, 100000, 500000};
+    EXPECT_TRUE(cpu::decodePc(cpu::encodePc(big)) == big);
+}

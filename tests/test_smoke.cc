@@ -1,0 +1,153 @@
+/**
+ * @file
+ * End-to-end smoke tests: compile a small workload, run it under every
+ * scheme, and sanity-check the results. These run first; deeper
+ * behaviour is covered by the per-module suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "compiler/compiler.hh"
+#include "core/system.hh"
+#include "harness/runner.hh"
+#include "workloads/generator.hh"
+
+using namespace lwsp;
+
+namespace {
+
+workloads::WorkloadProfile
+tinyProfile(unsigned threads = 1)
+{
+    workloads::WorkloadProfile p;
+    p.name = "tiny";
+    p.suite = "TEST";
+    p.threads = threads;
+    p.footprintBytes = 64 * 1024;
+    p.hotBytes = 8 * 1024;
+    p.locality = 0.8;
+    p.branchMissRate = 0.0;
+    workloads::PhaseSpec ph;
+    ph.pattern = workloads::PhaseSpec::Pattern::Sequential;
+    ph.loads = 2;
+    ph.stores = 1;
+    ph.alus = 6;
+    ph.trip = 64;
+    ph.reps = 2;
+    p.phases.push_back(ph);
+    return p;
+}
+
+} // namespace
+
+TEST(Smoke, BaselineRunsToCompletion)
+{
+    setLogQuiet(true);
+    auto w = workloads::generate(tinyProfile());
+    auto prog = compiler::makeUncompiled(std::move(w.module));
+
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::Baseline;
+    cfg.applySchemeDefaults();
+
+    core::System sys(cfg, prog, 1);
+    auto r = sys.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.instsRetired, 1000u);
+    EXPECT_GT(r.storesRetired, 100u);
+    EXPECT_GT(r.ipc, 0.1);
+}
+
+TEST(Smoke, LightWspRunsToCompletion)
+{
+    setLogQuiet(true);
+    auto w = workloads::generate(tinyProfile());
+    compiler::LightWspCompiler comp;
+    auto prog = comp.compile(std::move(w.module));
+    EXPECT_GT(prog.stats.boundaries, 0u);
+
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.applySchemeDefaults();
+
+    core::System sys(cfg, prog, 1);
+    auto r = sys.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.boundaries, 0u);
+    EXPECT_GT(r.wpqFlushedEntries, 0u);
+}
+
+TEST(Smoke, PmMatchesExecMemAfterCleanLightWspRun)
+{
+    setLogQuiet(true);
+    auto w = workloads::generate(tinyProfile());
+    compiler::LightWspCompiler comp;
+    auto prog = comp.compile(std::move(w.module));
+
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.applySchemeDefaults();
+
+    core::System sys(cfg, prog, 1);
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    // Every store persisted: the PM image must equal the execution image.
+    auto diffs = sys.pmImage().diff(sys.execImage());
+    EXPECT_TRUE(diffs.empty())
+        << "first diff at 0x" << std::hex
+        << (diffs.empty() ? 0 : diffs[0]);
+}
+
+TEST(Smoke, AllSchemesComplete)
+{
+    setLogQuiet(true);
+    for (core::Scheme s :
+         {core::Scheme::Baseline, core::Scheme::PspIdeal,
+          core::Scheme::LightWsp, core::Scheme::NaiveSfence,
+          core::Scheme::Ppa, core::Scheme::Capri, core::Scheme::Cwsp}) {
+        auto w = workloads::generate(tinyProfile());
+        harness::RunSpec spec;
+        spec.workload = "tiny";
+        spec.scheme = s;
+        auto cfg = harness::makeConfig(w.profile, spec);
+        auto prog = harness::prepareProgram(std::move(w), spec);
+        core::System sys(cfg, prog, 1);
+        auto r = sys.run();
+        EXPECT_TRUE(r.completed) << core::schemeName(s);
+    }
+}
+
+TEST(Smoke, MultithreadedLightWspCompletes)
+{
+    setLogQuiet(true);
+    auto profile = tinyProfile(4);
+    workloads::PhaseSpec txn;
+    txn.pattern = workloads::PhaseSpec::Pattern::Random;
+    txn.loads = 1;
+    txn.stores = 1;
+    txn.alus = 4;
+    txn.trip = 32;
+    txn.reps = 1;
+    txn.lockedRmw = true;
+    profile.phases.push_back(txn);
+
+    auto w = workloads::generate(profile);
+    compiler::LightWspCompiler comp;
+    auto prog = comp.compile(std::move(w.module));
+
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    cfg.numCores = 4;
+    cfg.applySchemeDefaults();
+
+    core::System sys(cfg, prog, 4);
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    // 4 threads x (trip/syncEvery) outer transactions, each incrementing
+    // the first shared cell once.
+    EXPECT_EQ(sys.execImage().read(workloads::Workload::sharedBase + 8),
+              4u * (32u / 16u));
+    auto diffs = sys.pmImage().diff(sys.execImage());
+    EXPECT_TRUE(diffs.empty());
+}
