@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_commit_pipeline.dir/abl_commit_pipeline.cc.o"
+  "CMakeFiles/abl_commit_pipeline.dir/abl_commit_pipeline.cc.o.d"
+  "abl_commit_pipeline"
+  "abl_commit_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_commit_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_slowdown.dir/fig07_slowdown.cc.o"
+  "CMakeFiles/fig07_slowdown.dir/fig07_slowdown.cc.o.d"
+  "fig07_slowdown"
+  "fig07_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

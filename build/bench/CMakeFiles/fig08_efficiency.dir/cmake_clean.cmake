@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_efficiency.dir/fig08_efficiency.cc.o"
+  "CMakeFiles/fig08_efficiency.dir/fig08_efficiency.cc.o.d"
+  "fig08_efficiency"
+  "fig08_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_psp_vs_wsp.dir/fig09_psp_vs_wsp.cc.o"
+  "CMakeFiles/fig09_psp_vs_wsp.dir/fig09_psp_vs_wsp.cc.o.d"
+  "fig09_psp_vs_wsp"
+  "fig09_psp_vs_wsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_psp_vs_wsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_psp_vs_wsp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cwsp.dir/fig10_cwsp.cc.o"
+  "CMakeFiles/fig10_cwsp.dir/fig10_cwsp.cc.o.d"
+  "fig10_cwsp"
+  "fig10_cwsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cwsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

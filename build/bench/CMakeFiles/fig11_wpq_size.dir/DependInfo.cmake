@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_wpq_size.cc" "bench/CMakeFiles/fig11_wpq_size.dir/fig11_wpq_size.cc.o" "gcc" "bench/CMakeFiles/fig11_wpq_size.dir/fig11_wpq_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/lwsp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lwsp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lwsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lwsp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lwsp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lwsp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/lwsp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lwsp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lwsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_store_threshold.dir/fig12_store_threshold.cc.o"
+  "CMakeFiles/fig12_store_threshold.dir/fig12_store_threshold.cc.o.d"
+  "fig12_store_threshold"
+  "fig12_store_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_store_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_miss_rate.dir/fig14_miss_rate.cc.o"
+  "CMakeFiles/fig14_miss_rate.dir/fig14_miss_rate.cc.o.d"
+  "fig14_miss_rate"
+  "fig14_miss_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_miss_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_bandwidth.dir/fig15_bandwidth.cc.o"
+  "CMakeFiles/fig15_bandwidth.dir/fig15_bandwidth.cc.o.d"
+  "fig15_bandwidth"
+  "fig15_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

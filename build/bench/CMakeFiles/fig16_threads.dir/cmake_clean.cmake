@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_threads.dir/fig16_threads.cc.o"
+  "CMakeFiles/fig16_threads.dir/fig16_threads.cc.o.d"
+  "fig16_threads"
+  "fig16_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

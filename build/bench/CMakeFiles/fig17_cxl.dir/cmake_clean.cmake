@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_cxl.dir/fig17_cxl.cc.o"
+  "CMakeFiles/fig17_cxl.dir/fig17_cxl.cc.o.d"
+  "fig17_cxl"
+  "fig17_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_wpq_hit.dir/fig18_wpq_hit.cc.o"
+  "CMakeFiles/fig18_wpq_hit.dir/fig18_wpq_hit.cc.o.d"
+  "fig18_wpq_hit"
+  "fig18_wpq_hit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_wpq_hit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_conflict_rate.dir/tab02_conflict_rate.cc.o"
+  "CMakeFiles/tab02_conflict_rate.dir/tab02_conflict_rate.cc.o.d"
+  "tab02_conflict_rate"
+  "tab02_conflict_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_conflict_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

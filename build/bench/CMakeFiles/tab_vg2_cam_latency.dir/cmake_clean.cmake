@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_vg2_cam_latency.dir/tab_vg2_cam_latency.cc.o"
+  "CMakeFiles/tab_vg2_cam_latency.dir/tab_vg2_cam_latency.cc.o.d"
+  "tab_vg2_cam_latency"
+  "tab_vg2_cam_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_vg2_cam_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_vg2_cam_latency.
+# This may be replaced when dependencies are built.

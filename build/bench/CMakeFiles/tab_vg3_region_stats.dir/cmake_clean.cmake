@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_vg3_region_stats.dir/tab_vg3_region_stats.cc.o"
+  "CMakeFiles/tab_vg3_region_stats.dir/tab_vg3_region_stats.cc.o.d"
+  "tab_vg3_region_stats"
+  "tab_vg3_region_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_vg3_region_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwsp_cli.dir/lwsp_cli.cpp.o"
+  "CMakeFiles/lwsp_cli.dir/lwsp_cli.cpp.o.d"
+  "lwsp_cli"
+  "lwsp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwsp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithread_ordering.dir/multithread_ordering.cpp.o"
+  "CMakeFiles/multithread_ordering.dir/multithread_ordering.cpp.o.d"
+  "multithread_ordering"
+  "multithread_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithread_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwsp_baselines.dir/baselines.cc.o"
+  "CMakeFiles/lwsp_baselines.dir/baselines.cc.o.d"
+  "liblwsp_baselines.a"
+  "liblwsp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwsp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

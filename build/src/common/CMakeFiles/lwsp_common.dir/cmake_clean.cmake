@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwsp_common.dir/logging.cc.o"
+  "CMakeFiles/lwsp_common.dir/logging.cc.o.d"
+  "CMakeFiles/lwsp_common.dir/stats.cc.o"
+  "CMakeFiles/lwsp_common.dir/stats.cc.o.d"
+  "liblwsp_common.a"
+  "liblwsp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwsp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/compiler.cc" "src/compiler/CMakeFiles/lwsp_compiler.dir/compiler.cc.o" "gcc" "src/compiler/CMakeFiles/lwsp_compiler.dir/compiler.cc.o.d"
+  "/root/repo/src/compiler/constprop.cc" "src/compiler/CMakeFiles/lwsp_compiler.dir/constprop.cc.o" "gcc" "src/compiler/CMakeFiles/lwsp_compiler.dir/constprop.cc.o.d"
+  "/root/repo/src/compiler/liveness.cc" "src/compiler/CMakeFiles/lwsp_compiler.dir/liveness.cc.o" "gcc" "src/compiler/CMakeFiles/lwsp_compiler.dir/liveness.cc.o.d"
+  "/root/repo/src/compiler/passes.cc" "src/compiler/CMakeFiles/lwsp_compiler.dir/passes.cc.o" "gcc" "src/compiler/CMakeFiles/lwsp_compiler.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lwsp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lwsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

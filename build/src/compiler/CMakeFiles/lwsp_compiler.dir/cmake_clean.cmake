@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwsp_compiler.dir/compiler.cc.o"
+  "CMakeFiles/lwsp_compiler.dir/compiler.cc.o.d"
+  "CMakeFiles/lwsp_compiler.dir/constprop.cc.o"
+  "CMakeFiles/lwsp_compiler.dir/constprop.cc.o.d"
+  "CMakeFiles/lwsp_compiler.dir/liveness.cc.o"
+  "CMakeFiles/lwsp_compiler.dir/liveness.cc.o.d"
+  "CMakeFiles/lwsp_compiler.dir/passes.cc.o"
+  "CMakeFiles/lwsp_compiler.dir/passes.cc.o.d"
+  "liblwsp_compiler.a"
+  "liblwsp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwsp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

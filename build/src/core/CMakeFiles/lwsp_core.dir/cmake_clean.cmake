@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwsp_core.dir/system.cc.o"
+  "CMakeFiles/lwsp_core.dir/system.cc.o.d"
+  "liblwsp_core.a"
+  "liblwsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

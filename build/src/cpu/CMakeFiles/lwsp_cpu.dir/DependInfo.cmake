@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/lwsp_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/lwsp_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/thread_context.cc" "src/cpu/CMakeFiles/lwsp_cpu.dir/thread_context.cc.o" "gcc" "src/cpu/CMakeFiles/lwsp_cpu.dir/thread_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/lwsp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lwsp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lwsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lwsp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwsp_cpu.dir/core.cc.o"
+  "CMakeFiles/lwsp_cpu.dir/core.cc.o.d"
+  "CMakeFiles/lwsp_cpu.dir/thread_context.cc.o"
+  "CMakeFiles/lwsp_cpu.dir/thread_context.cc.o.d"
+  "liblwsp_cpu.a"
+  "liblwsp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwsp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwsp_harness.dir/report.cc.o"
+  "CMakeFiles/lwsp_harness.dir/report.cc.o.d"
+  "CMakeFiles/lwsp_harness.dir/runner.cc.o"
+  "CMakeFiles/lwsp_harness.dir/runner.cc.o.d"
+  "liblwsp_harness.a"
+  "liblwsp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwsp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

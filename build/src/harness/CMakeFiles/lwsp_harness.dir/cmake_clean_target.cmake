@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblwsp_harness.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/cfg.cc" "src/ir/CMakeFiles/lwsp_ir.dir/cfg.cc.o" "gcc" "src/ir/CMakeFiles/lwsp_ir.dir/cfg.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/ir/CMakeFiles/lwsp_ir.dir/opcode.cc.o" "gcc" "src/ir/CMakeFiles/lwsp_ir.dir/opcode.cc.o.d"
+  "/root/repo/src/ir/text_io.cc" "src/ir/CMakeFiles/lwsp_ir.dir/text_io.cc.o" "gcc" "src/ir/CMakeFiles/lwsp_ir.dir/text_io.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/lwsp_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/lwsp_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lwsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwsp_ir.dir/cfg.cc.o"
+  "CMakeFiles/lwsp_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/lwsp_ir.dir/opcode.cc.o"
+  "CMakeFiles/lwsp_ir.dir/opcode.cc.o.d"
+  "CMakeFiles/lwsp_ir.dir/text_io.cc.o"
+  "CMakeFiles/lwsp_ir.dir/text_io.cc.o.d"
+  "CMakeFiles/lwsp_ir.dir/verifier.cc.o"
+  "CMakeFiles/lwsp_ir.dir/verifier.cc.o.d"
+  "liblwsp_ir.a"
+  "liblwsp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwsp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwsp_mem.dir/cache.cc.o"
+  "CMakeFiles/lwsp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/lwsp_mem.dir/mem_controller.cc.o"
+  "CMakeFiles/lwsp_mem.dir/mem_controller.cc.o.d"
+  "liblwsp_mem.a"
+  "liblwsp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwsp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

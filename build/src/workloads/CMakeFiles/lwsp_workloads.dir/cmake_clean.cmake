@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwsp_workloads.dir/generator.cc.o"
+  "CMakeFiles/lwsp_workloads.dir/generator.cc.o.d"
+  "CMakeFiles/lwsp_workloads.dir/profiles.cc.o"
+  "CMakeFiles/lwsp_workloads.dir/profiles.cc.o.d"
+  "liblwsp_workloads.a"
+  "liblwsp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwsp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_stress.dir/test_crash_stress.cc.o"
+  "CMakeFiles/test_crash_stress.dir/test_crash_stress.cc.o.d"
+  "test_crash_stress"
+  "test_crash_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

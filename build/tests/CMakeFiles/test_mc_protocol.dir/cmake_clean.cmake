@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_protocol.dir/test_mc_protocol.cc.o"
+  "CMakeFiles/test_mc_protocol.dir/test_mc_protocol.cc.o.d"
+  "test_mc_protocol"
+  "test_mc_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wpq.dir/test_wpq.cc.o"
+  "CMakeFiles/test_wpq.dir/test_wpq.cc.o.d"
+  "test_wpq"
+  "test_wpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
