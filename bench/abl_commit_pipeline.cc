@@ -16,6 +16,7 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Ablation: LightWSP commit pipelining (relaxed vs strict "
@@ -23,18 +24,25 @@ main(int argc, char **argv)
     table.addColumn("relaxed");
     table.addColumn("strict");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        std::vector<double> row;
+    const auto profiles = bench::selectedProfiles(args);
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
         for (bool strict : {false, true}) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = core::Scheme::LightWsp;
             spec.strictFlushAcks = strict;
-            row.push_back(runner.slowdownVsBaseline(spec));
+            specs.push_back(spec);
         }
-        table.addRow(p->name, p->suite, row);
+    }
+    auto slow = exec.slowdowns(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        table.addRow(p->name, p->suite, {slow[i], slow[i + 1]});
+        i += 2;
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

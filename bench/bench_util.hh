@@ -3,13 +3,20 @@
  * Shared plumbing for the figure/table reproduction binaries.
  *
  * Every bench accepts:
- *   --quick      run a representative subset of apps (fast smoke mode)
- *   --csv FILE   additionally dump the table as CSV
+ *   --quick           run a representative subset of apps (fast smoke mode)
+ *   --csv FILE        additionally dump the table as CSV
+ *   --jobs N          sweep worker threads (0/default = all hardware threads)
+ *   --sweep-json FILE write the sweep's wall-clock/throughput telemetry
+ *
+ * Benches build a flat RunSpec list (row-major over the table) and hand
+ * it to a SweepExecutor; results come back indexed by input order, so
+ * tables and CSVs are byte-identical at any job count.
  */
 
 #ifndef LWSP_BENCH_BENCH_UTIL_HH
 #define LWSP_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -18,6 +25,7 @@
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/profile.hh"
 
 namespace lwsp {
@@ -27,25 +35,46 @@ struct BenchArgs
 {
     bool quick = false;
     std::string csvPath;
+    unsigned jobs = 0;          ///< 0 = hardware concurrency
+    std::string sweepJsonPath;  ///< empty = no telemetry file
+    std::string benchName;      ///< argv[0] basename, for telemetry
 };
 
 inline BenchArgs
 parseArgs(int argc, char **argv)
 {
     BenchArgs args;
+    std::string prog = argv[0];
+    std::size_t slash = prog.find_last_of('/');
+    args.benchName =
+        slash == std::string::npos ? prog : prog.substr(slash + 1);
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--quick") {
             args.quick = true;
         } else if (a == "--csv" && i + 1 < argc) {
             args.csvPath = argv[++i];
+        } else if (a == "--jobs" && i + 1 < argc) {
+            args.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (a == "--sweep-json" && i + 1 < argc) {
+            args.sweepJsonPath = argv[++i];
         } else {
-            std::cerr << "usage: " << argv[0] << " [--quick] [--csv FILE]\n";
+            std::cerr << "usage: " << argv[0]
+                      << " [--quick] [--csv FILE] [--jobs N]"
+                         " [--sweep-json FILE]\n";
             std::exit(2);
         }
     }
     setLogQuiet(true);
     return args;
+}
+
+/** The executor every bench sweeps through (honours --jobs). */
+inline harness::SweepExecutor
+makeExecutor(const BenchArgs &args)
+{
+    return harness::SweepExecutor(args.jobs);
 }
 
 /** The apps to sweep: all 38, or one representative per suite in quick
@@ -68,7 +97,7 @@ selectedProfiles(const BenchArgs &args)
 
 inline void
 finish(const harness::ResultTable &table, const BenchArgs &args,
-       bool per_app = true)
+       const harness::SweepExecutor &exec, bool per_app = true)
 {
     if (per_app)
         table.print(std::cout);
@@ -78,6 +107,10 @@ finish(const harness::ResultTable &table, const BenchArgs &args,
         std::ofstream csv(args.csvPath);
         table.writeCsv(csv);
         std::cout << "csv written to " << args.csvPath << '\n';
+    }
+    if (!args.sweepJsonPath.empty()) {
+        harness::writeSweepJson(args.sweepJsonPath, args.benchName,
+                                exec.totalStats());
     }
 }
 

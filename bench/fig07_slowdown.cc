@@ -14,6 +14,7 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 7: execution slowdown vs baseline (Capri / PPA / LightWSP)");
@@ -21,18 +22,28 @@ main(int argc, char **argv)
     table.addColumn("ppa");
     table.addColumn("lightwsp");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        std::vector<double> row;
-        for (core::Scheme s : {core::Scheme::Capri, core::Scheme::Ppa,
-                               core::Scheme::LightWsp}) {
+    const auto profiles = bench::selectedProfiles(args);
+    const core::Scheme schemes[] = {core::Scheme::Capri, core::Scheme::Ppa,
+                                    core::Scheme::LightWsp};
+
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
+        for (core::Scheme s : schemes) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = s;
-            row.push_back(runner.slowdownVsBaseline(spec));
+            specs.push_back(spec);
         }
+    }
+    auto slow = exec.slowdowns(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        std::vector<double> row(slow.begin() + i, slow.begin() + i + 3);
+        i += 3;
         table.addRow(p->name, p->suite, row);
     }
 
-    bench::finish(table, args);
+    bench::finish(table, args, exec);
     return 0;
 }

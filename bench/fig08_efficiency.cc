@@ -15,26 +15,39 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 8: region-level persistence efficiency % (PPA / LightWSP)");
     table.addColumn("ppa");
     table.addColumn("lightwsp");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        std::vector<double> row;
-        for (core::Scheme s : {core::Scheme::Ppa, core::Scheme::LightWsp}) {
+    const auto profiles = bench::selectedProfiles(args);
+    const core::Scheme schemes[] = {core::Scheme::Ppa,
+                                    core::Scheme::LightWsp};
+
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
+        for (core::Scheme s : schemes) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = s;
-            auto outcome = runner.run(spec);
-            auto cfg = harness::makeConfig(*p, spec);
+            specs.push_back(spec);
+        }
+    }
+    auto outcomes = exec.runAll(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        std::vector<double> row;
+        for (std::size_t c = 0; c < 2; ++c, ++i) {
+            auto cfg = harness::makeConfig(*p, specs[i]);
             row.push_back(
-                harness::persistenceEfficiency(outcome.result, cfg));
+                harness::persistenceEfficiency(outcomes[i].result, cfg));
         }
         table.addRow(p->name, p->suite, row);
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

@@ -15,26 +15,37 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 10: slowdown vs baseline (cWSP / LightWSP), NPB excluded");
     table.addColumn("cwsp");
     table.addColumn("lightwsp");
 
+    std::vector<const workloads::WorkloadProfile *> profiles;
     for (const auto *p : bench::selectedProfiles(args)) {
-        if (p->suite == "NPB")
-            continue;  // cWSP's evaluation does not use NPB
-        std::vector<double> row;
+        if (p->suite != "NPB")  // cWSP's evaluation does not use NPB
+            profiles.push_back(p);
+    }
+
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
         for (core::Scheme s :
              {core::Scheme::Cwsp, core::Scheme::LightWsp}) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = s;
-            row.push_back(runner.slowdownVsBaseline(spec));
+            specs.push_back(spec);
         }
-        table.addRow(p->name, p->suite, row);
+    }
+    auto slow = exec.slowdowns(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        table.addRow(p->name, p->suite, {slow[i], slow[i + 1]});
+        i += 2;
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 11: LightWSP slowdown for WPQ sizes 256/128/64");
@@ -23,18 +24,28 @@ main(int argc, char **argv)
     table.addColumn("wpq-64");
     table.addColumn("wpq-16");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        std::vector<double> row;
-        for (unsigned wpq : {256u, 128u, 64u, 16u}) {
+    const auto profiles = bench::selectedProfiles(args);
+    const unsigned sizes[] = {256u, 128u, 64u, 16u};
+
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
+        for (unsigned wpq : sizes) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = core::Scheme::LightWsp;
             spec.wpqEntries = wpq;
-            row.push_back(runner.slowdownVsBaseline(spec));
+            specs.push_back(spec);
         }
+    }
+    auto slow = exec.slowdowns(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        std::vector<double> row(slow.begin() + i, slow.begin() + i + 4);
+        i += 4;
         table.addRow(p->name, p->suite, row);
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

@@ -18,6 +18,7 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 12: LightWSP slowdown for store thresholds 16/32/64 "
@@ -27,18 +28,28 @@ main(int argc, char **argv)
     table.addColumn("thr-32");
     table.addColumn("thr-64");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        std::vector<double> row;
-        for (unsigned thr : {8u, 16u, 32u, 64u}) {
+    const auto profiles = bench::selectedProfiles(args);
+    const unsigned thresholds[] = {8u, 16u, 32u, 64u};
+
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
+        for (unsigned thr : thresholds) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = core::Scheme::LightWsp;
             spec.storeThreshold = thr;
-            row.push_back(runner.slowdownVsBaseline(spec));
+            specs.push_back(spec);
         }
+    }
+    auto slow = exec.slowdowns(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        std::vector<double> row(slow.begin() + i, slow.begin() + i + 4);
+        i += 4;
         table.addRow(p->name, p->suite, row);
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

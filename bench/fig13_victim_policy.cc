@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 13: LightWSP slowdown per victim-selection policy");
@@ -22,20 +23,30 @@ main(int argc, char **argv)
     table.addColumn("half");
     table.addColumn("zero");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        std::vector<double> row;
-        for (mem::VictimPolicy v :
-             {mem::VictimPolicy::Full, mem::VictimPolicy::Half,
-              mem::VictimPolicy::Zero}) {
+    const auto profiles = bench::selectedProfiles(args);
+    const mem::VictimPolicy policies[] = {mem::VictimPolicy::Full,
+                                          mem::VictimPolicy::Half,
+                                          mem::VictimPolicy::Zero};
+
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
+        for (mem::VictimPolicy v : policies) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = core::Scheme::LightWsp;
             spec.victimPolicy = v;
-            row.push_back(runner.slowdownVsBaseline(spec));
+            specs.push_back(spec);
         }
+    }
+    auto slow = exec.slowdowns(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        std::vector<double> row(slow.begin() + i, slow.begin() + i + 3);
+        i += 3;
         table.addRow(p->name, p->suite, row);
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

@@ -16,6 +16,7 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 14: L1 miss rate % per victim policy (+ stale-load)");
@@ -24,21 +25,31 @@ main(int argc, char **argv)
     table.addColumn("zero");
     table.addColumn("stale-load");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        std::vector<double> row;
-        for (mem::VictimPolicy v :
-             {mem::VictimPolicy::Full, mem::VictimPolicy::Half,
-              mem::VictimPolicy::Zero, mem::VictimPolicy::None}) {
+    const auto profiles = bench::selectedProfiles(args);
+    const mem::VictimPolicy policies[] = {
+        mem::VictimPolicy::Full, mem::VictimPolicy::Half,
+        mem::VictimPolicy::Zero, mem::VictimPolicy::None};
+
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
+        for (mem::VictimPolicy v : policies) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = core::Scheme::LightWsp;
             spec.victimPolicy = v;
-            auto outcome = runner.run(spec);
-            row.push_back(outcome.result.l1MissRate() * 100.0 + 1e-9);
+            specs.push_back(spec);
         }
+    }
+    auto outcomes = exec.runAll(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        std::vector<double> row;
+        for (unsigned c = 0; c < 4; ++c, ++i)
+            row.push_back(outcomes[i].result.l1MissRate() * 100.0 + 1e-9);
         table.addRow(p->name, p->suite, row);
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

@@ -14,6 +14,7 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 15: LightWSP slowdown per persist-path bandwidth");
@@ -21,18 +22,28 @@ main(int argc, char **argv)
     table.addColumn("2GB/s");
     table.addColumn("1GB/s");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        std::vector<double> row;
-        for (double gbps : {4.0, 2.0, 1.0}) {
+    const auto profiles = bench::selectedProfiles(args);
+    const double bandwidths[] = {4.0, 2.0, 1.0};
+
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
+        for (double gbps : bandwidths) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = core::Scheme::LightWsp;
             spec.persistPathGBps = gbps;
-            row.push_back(runner.slowdownVsBaseline(spec));
+            specs.push_back(spec);
         }
+    }
+    auto slow = exec.slowdowns(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        std::vector<double> row(slow.begin() + i, slow.begin() + i + 3);
+        i += 3;
         table.addRow(p->name, p->suite, row);
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

@@ -16,6 +16,7 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 16: LightWSP slowdown per thread count (multi-threaded "
@@ -31,40 +32,54 @@ main(int argc, char **argv)
     overflow.addColumn("wpq-64");
     overflow.addColumn("wpq-256");
 
+    std::vector<const workloads::WorkloadProfile *> profiles;
     for (const auto *p : bench::selectedProfiles(args)) {
-        if (p->threads < 2)
-            continue;
-        std::vector<double> row;
+        if (p->threads >= 2)
+            profiles.push_back(p);
+    }
+
+    std::vector<harness::RunSpec> specs;
+    std::vector<harness::RunSpec> ospecs;
+    for (const auto *p : profiles) {
         for (unsigned t : {8u, 16u, 32u, 64u}) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = core::Scheme::LightWsp;
             spec.threads = t;
-            row.push_back(runner.slowdownVsBaseline(spec));
+            specs.push_back(spec);
         }
-        table.addRow(p->name, p->suite, row);
-
-        std::vector<double> orow;
         for (unsigned wpq : {64u, 256u}) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = core::Scheme::LightWsp;
             spec.threads = 64;
             spec.wpqEntries = wpq;
-            auto outcome = runner.run(spec);
+            ospecs.push_back(spec);
+        }
+    }
+    auto slow = exec.slowdowns(runner, specs);
+    auto outcomes = exec.runAll(runner, ospecs);
+
+    std::size_t i = 0, oi = 0;
+    for (const auto *p : profiles) {
+        std::vector<double> row(slow.begin() + i, slow.begin() + i + 4);
+        i += 4;
+        table.addRow(p->name, p->suite, row);
+
+        std::vector<double> orow;
+        for (unsigned c = 0; c < 2; ++c, ++oi) {
+            const auto &r = outcomes[oi].result;
             double per10k =
-                outcome.result.instsRetired
-                    ? 1e4 *
-                          static_cast<double>(
-                              outcome.result.wpqFallbackFlushes) /
-                          static_cast<double>(outcome.result.instsRetired)
+                r.instsRetired
+                    ? 1e4 * static_cast<double>(r.wpqFallbackFlushes) /
+                          static_cast<double>(r.instsRetired)
                     : 0.0;
             orow.push_back(per10k);
         }
         overflow.addRow(p->name, p->suite, orow);
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     std::cout << '\n';
     overflow.printSuiteSummary(std::cout);
     return 0;

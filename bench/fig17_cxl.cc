@@ -30,6 +30,26 @@ constexpr CxlDevice devices[] = {
     {"CXL-PMem", 245, 160, 2.3, 70},
 };
 
+harness::RunSpec
+specFor(const workloads::WorkloadProfile &p, const CxlDevice &d)
+{
+    harness::RunSpec spec;
+    spec.workload = p.name;
+    spec.scheme = core::Scheme::LightWsp;
+    spec.pmReadCycles = nsToCycles(d.readNs + d.extraNs);
+    spec.pmWriteCycles = nsToCycles(d.writeNs + d.extraNs);
+    spec.extraPathLatency = nsToCycles(d.extraNs);
+    // Device write bandwidth sets the WPQ drain rate: cycles per
+    // 8B granule at 2 GHz, split across 2 MCs.
+    double granules_per_cycle = d.gbps / 8.0 / 2.0 / 2.0;
+    Tick interval = granules_per_cycle >= 2.0 ? 1
+                    : granules_per_cycle >= 1.0
+                        ? 1
+                        : static_cast<Tick>(1.0 / granules_per_cycle + 0.5);
+    spec.drainInterval = std::max<Tick>(1, interval);
+    return spec;
+}
+
 } // namespace
 
 int
@@ -37,35 +57,27 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 17: LightWSP slowdown per CXL device configuration");
     for (const auto &d : devices)
         table.addColumn(d.name);
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        std::vector<double> row;
-        for (const auto &d : devices) {
-            harness::RunSpec spec;
-            spec.workload = p->name;
-            spec.scheme = core::Scheme::LightWsp;
-            spec.pmReadCycles = nsToCycles(d.readNs + d.extraNs);
-            spec.pmWriteCycles = nsToCycles(d.writeNs + d.extraNs);
-            spec.extraPathLatency = nsToCycles(d.extraNs);
-            // Device write bandwidth sets the WPQ drain rate: cycles per
-            // 8B granule at 2 GHz, split across 2 MCs.
-            double granules_per_cycle = d.gbps / 8.0 / 2.0 / 2.0;
-            Tick interval = granules_per_cycle >= 2.0 ? 1
-                            : granules_per_cycle >= 1.0
-                                ? 1
-                                : static_cast<Tick>(
-                                      1.0 / granules_per_cycle + 0.5);
-            spec.drainInterval = std::max<Tick>(1, interval);
-            row.push_back(runner.slowdownVsBaseline(spec));
-        }
+    const auto profiles = bench::selectedProfiles(args);
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles)
+        for (const auto &d : devices)
+            specs.push_back(specFor(*p, d));
+    auto slow = exec.slowdowns(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        std::vector<double> row(slow.begin() + i, slow.begin() + i + 4);
+        i += 4;
         table.addRow(p->name, p->suite, row);
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Fig 18: WPQ load hits per million instructions");
@@ -22,19 +23,28 @@ main(int argc, char **argv)
     table.addColumn("wpq-128");
     table.addColumn("wpq-64");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        std::vector<double> row;
+    const auto profiles = bench::selectedProfiles(args);
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
         for (unsigned wpq : {256u, 128u, 64u}) {
             harness::RunSpec spec;
             spec.workload = p->name;
             spec.scheme = core::Scheme::LightWsp;
             spec.wpqEntries = wpq;
-            auto outcome = runner.run(spec);
+            specs.push_back(spec);
+        }
+    }
+    auto outcomes = exec.runAll(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        std::vector<double> row;
+        for (unsigned c = 0; c < 3; ++c, ++i) {
+            const auto &r = outcomes[i].result;
             double per_m =
-                outcome.result.instsRetired
-                    ? 1e6 *
-                          static_cast<double>(outcome.result.wpqLoadHits) /
-                          static_cast<double>(outcome.result.instsRetired)
+                r.instsRetired
+                    ? 1e6 * static_cast<double>(r.wpqLoadHits) /
+                          static_cast<double>(r.instsRetired)
                     : 0.0;
             // Keep zero rows geomean-safe by flooring at a tiny epsilon.
             row.push_back(per_m + 1e-6);
@@ -42,6 +52,6 @@ main(int argc, char **argv)
         table.addRow(p->name, p->suite, row);
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

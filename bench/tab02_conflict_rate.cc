@@ -16,28 +16,34 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table(
         "Table II: FEB conflict rate (permille of L1 accesses)");
     table.addColumn("conflict");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
+    const auto profiles = bench::selectedProfiles(args);
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
         harness::RunSpec spec;
         spec.workload = p->name;
         spec.scheme = core::Scheme::LightWsp;
-        auto outcome = runner.run(spec);
-        double accesses = static_cast<double>(outcome.result.l1Hits +
-                                              outcome.result.l1Misses);
+        specs.push_back(spec);
+    }
+    auto outcomes = exec.runAll(runner, specs);
+
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        const auto &r = outcomes[i++].result;
+        double accesses = static_cast<double>(r.l1Hits + r.l1Misses);
         double rate =
             accesses > 0
-                ? 1000.0 *
-                      static_cast<double>(outcome.result.bufferConflicts) /
-                      accesses
+                ? 1000.0 * static_cast<double>(r.bufferConflicts) / accesses
                 : 0.0;
         // Epsilon keeps the geomean defined for all-zero suites.
         table.addRow(p->name, p->suite, {rate + 1e-9});
     }
 
-    bench::finish(table, args, /*per_app=*/false);
+    bench::finish(table, args, exec, /*per_app=*/false);
     return 0;
 }

@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     auto args = bench::parseArgs(argc, argv);
     harness::Runner runner;
+    auto exec = bench::makeExecutor(args);
 
     harness::ResultTable table("§V-G3: instruction & region statistics");
     table.addColumn("inst-ovh%");
@@ -22,17 +23,24 @@ main(int argc, char **argv)
     table.addColumn("stores/region");
     table.addColumn("ckpt-pruned");
 
-    for (const auto *p : bench::selectedProfiles(args)) {
-        harness::RunSpec base;
-        base.workload = p->name;
-        base.scheme = core::Scheme::Baseline;
-        auto b = runner.run(base);
+    const auto profiles = bench::selectedProfiles(args);
+    std::vector<harness::RunSpec> specs;
+    for (const auto *p : profiles) {
+        for (core::Scheme s :
+             {core::Scheme::Baseline, core::Scheme::LightWsp}) {
+            harness::RunSpec spec;
+            spec.workload = p->name;
+            spec.scheme = s;
+            specs.push_back(spec);
+        }
+    }
+    auto outcomes = exec.runAll(runner, specs);
 
-        harness::RunSpec spec;
-        spec.workload = p->name;
-        spec.scheme = core::Scheme::LightWsp;
-        auto o = runner.run(spec);
-
+    std::size_t i = 0;
+    for (const auto *p : profiles) {
+        const auto &b = outcomes[i];
+        const auto &o = outcomes[i + 1];
+        i += 2;
         double ovh = 100.0 *
                      (static_cast<double>(o.result.instsRetired) /
                           static_cast<double>(b.result.instsRetired) -
@@ -44,6 +52,6 @@ main(int argc, char **argv)
                           o.compileStats.prunedCheckpoints) + 1e-6});
     }
 
-    bench::finish(table, args);
+    bench::finish(table, args, exec);
     return 0;
 }

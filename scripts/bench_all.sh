@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Run every figure/table reproduction through the parallel sweep engine,
+# check the CSVs against the checked-in references, and aggregate the
+# per-bench telemetry into one BENCH_sweep.json.
+#
+#   scripts/bench_all.sh [--quick] [--jobs N] [--build-dir DIR]
+#                        [--out-dir DIR] [--speedup]
+#
+#   --quick      one representative app per suite (fast smoke pass)
+#   --jobs N     sweep worker threads per bench (default: all cores)
+#   --build-dir  where the bench binaries live (default: ./build)
+#   --out-dir    where CSVs/JSON land (default: BUILD_DIR/bench_out)
+#   --speedup    additionally run fig07 at --jobs 1 and --jobs $(nproc),
+#                byte-diff the two CSVs and record the wall-clock ratio
+#                in BENCH_sweep.json
+#
+# CSV checking: quick-mode rows are a subset of the full reference
+# tables, so each emitted row is compared against the same-named row in
+# results/<bench>.csv when that reference exists. Any mismatch fails the
+# script — the sweep engine's whole promise is byte-identical output at
+# any job count.
+
+set -euo pipefail
+
+QUICK=""
+JOBS=0
+SPEEDUP=0
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+OUT_DIR=""
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --quick) QUICK="--quick" ;;
+        --jobs) JOBS="$2"; shift ;;
+        --build-dir) BUILD_DIR="$2"; shift ;;
+        --out-dir) OUT_DIR="$2"; shift ;;
+        --speedup) SPEEDUP=1 ;;
+        *) echo "usage: $0 [--quick] [--jobs N] [--build-dir DIR]" \
+                "[--out-dir DIR] [--speedup]" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+BENCH_DIR="$BUILD_DIR/bench"
+[ -n "$OUT_DIR" ] || OUT_DIR="$BUILD_DIR/bench_out"
+mkdir -p "$OUT_DIR"
+AGGREGATE="$OUT_DIR/BENCH_sweep.json"
+
+[ -x "$BENCH_DIR/fig07_slowdown" ] || {
+    echo "error: bench binaries not found under $BENCH_DIR" \
+         "(build the repo first)" >&2
+    exit 1
+}
+
+# Every sweep-engine bench. tab_vg2/tab_vg4 are analytic (no simulation)
+# and micro_substrate is a google-benchmark binary; none take --jobs.
+BENCHES="
+fig07_slowdown
+fig08_efficiency
+fig09_psp_vs_wsp
+fig10_cwsp
+fig11_wpq_size
+fig12_store_threshold
+fig13_victim_policy
+fig14_miss_rate
+fig15_bandwidth
+fig16_threads
+fig17_cxl
+fig18_wpq_hit
+tab02_conflict_rate
+tab_vg3_region_stats
+abl_commit_pipeline
+"
+
+check_csv() {
+    # $1 = emitted csv, $2 = reference csv. Row-subset comparison keyed
+    # on the first column; headers must match exactly.
+    local got="$1" ref="$2"
+    [ -f "$ref" ] || return 0
+    if ! diff <(head -1 "$got") <(head -1 "$ref") >/dev/null; then
+        echo "  HEADER MISMATCH vs $(basename "$ref")"
+        return 1
+    fi
+    local bad=0
+    while IFS= read -r line; do
+        local key="${line%%,*}"
+        local refline
+        refline="$(grep "^$key," "$ref" || true)"
+        [ -z "$refline" ] && continue  # row not in the reference subset
+        if [ "$line" != "$refline" ]; then
+            echo "  ROW MISMATCH [$key] vs $(basename "$ref")"
+            echo "    ref: $refline"
+            echo "    got: $line"
+            bad=1
+        fi
+    done < <(tail -n +2 "$got")
+    return $bad
+}
+
+FAILED=0
+: > "$AGGREGATE.records"
+for b in $BENCHES; do
+    echo "== $b"
+    csv="$OUT_DIR/$b.csv"
+    json="$OUT_DIR/$b.sweep.json"
+    if ! "$BENCH_DIR/$b" $QUICK --jobs "$JOBS" --csv "$csv" \
+            --sweep-json "$json" > "$OUT_DIR/$b.txt"; then
+        echo "  BENCH FAILED (exit $?)"
+        FAILED=1
+        continue
+    fi
+    cat "$json" >> "$AGGREGATE.records"
+    if ! check_csv "$csv" "$ROOT/results/$b.csv"; then
+        FAILED=1
+    else
+        echo "  csv ok ($(($(wc -l < "$csv") - 1)) rows)"
+    fi
+done
+
+SPEEDUP_JSON=""
+if [ "$SPEEDUP" = 1 ]; then
+    NP="$(nproc)"
+    echo "== speedup probe: fig07 --jobs 1 vs --jobs $NP"
+    t0=$(date +%s.%N)
+    "$BENCH_DIR/fig07_slowdown" $QUICK --jobs 1 \
+        --csv "$OUT_DIR/fig07.serial.csv" \
+        --sweep-json "$OUT_DIR/fig07.serial.sweep.json" > /dev/null
+    t1=$(date +%s.%N)
+    "$BENCH_DIR/fig07_slowdown" $QUICK --jobs "$NP" \
+        --csv "$OUT_DIR/fig07.parallel.csv" \
+        --sweep-json "$OUT_DIR/fig07.parallel.sweep.json" > /dev/null
+    t2=$(date +%s.%N)
+    if ! cmp -s "$OUT_DIR/fig07.serial.csv" "$OUT_DIR/fig07.parallel.csv"
+    then
+        echo "  PARALLEL CSV DIFFERS FROM SERIAL — determinism broken"
+        FAILED=1
+    else
+        echo "  parallel csv byte-identical to serial"
+    fi
+    SERIAL=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
+    PARALLEL=$(echo "$t2 $t1" | awk '{printf "%.3f", $1 - $2}')
+    RATIO=$(echo "$SERIAL $PARALLEL" | awk '{printf "%.3f", $1 / $2}')
+    echo "  serial ${SERIAL}s, parallel(${NP}j) ${PARALLEL}s," \
+         "speedup ${RATIO}x"
+    SPEEDUP_JSON=",\"speedup\":{\"bench\":\"fig07_slowdown\",\
+\"serial_seconds\":$SERIAL,\"parallel_jobs\":$NP,\
+\"parallel_seconds\":$PARALLEL,\"ratio\":$RATIO}"
+fi
+
+{
+    printf '{"benches":['
+    paste -sd, "$AGGREGATE.records"
+    printf ']%s}\n' "$SPEEDUP_JSON"
+} | tr -d '\n' > "$AGGREGATE"
+echo >> "$AGGREGATE"
+rm -f "$AGGREGATE.records"
+echo "aggregate telemetry: $AGGREGATE"
+
+exit $FAILED

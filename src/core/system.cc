@@ -75,6 +75,8 @@ System::System(const SystemConfig &cfg,
     runIndex_.assign(cfg_.numCores, 0);
     for (ThreadId t = 0; t < num_threads; ++t)
         runQueues_[t % cfg_.numCores].push_back(t);
+    for (const auto &q : runQueues_)
+        multiQueued_ = multiQueued_ || q.size() >= 2;
     for (CoreId c = 0; c < cfg_.numCores; ++c) {
         if (!runQueues_[c].empty())
             cores_[c]->setThread(threads_[runQueues_[c][0]].get());
@@ -176,16 +178,43 @@ System::maybeEndWarmup()
     staleExtraMisses_ = 0;
 }
 
+/**
+ * Advance the simulation until done() or cycle @p limit. The hot loop:
+ * when every component self-reports quiescence until some future cycle,
+ * the clock fast-forwards there instead of stepping through dead cycles
+ * one by one. Skips are bounded by the next schedule check whenever a
+ * core is oversubscribed (so context switches land on identical cycles)
+ * and by @p limit, keeping results bit-identical to plain stepping:
+ * done(), warmup progress and scheduling decisions are all pure
+ * functions of component state, which is frozen across a skipped window.
+ */
+bool
+System::advance(Tick limit)
+{
+    while (sim_.now() < limit) {
+        if (done())
+            return true;
+        scheduleThreads(sim_.now());
+        maybeEndWarmup();
+        if (cfg_.fastForwardEnabled) {
+            Tick target = std::min(sim_.nextActiveTick(), limit);
+            if (multiQueued_)
+                target = std::min(target, nextScheduleCheck_);
+            if (target > sim_.now() + 1) {
+                sim_.advanceTo(target);
+                continue;
+            }
+        }
+        sim_.step();
+    }
+    return false;
+}
+
 RunResult
 System::run()
 {
-    while (sim_.now() < cfg_.maxCycles) {
-        if (done())
-            return collectResult(true);
-        scheduleThreads(sim_.now());
-        maybeEndWarmup();
-        sim_.step();
-    }
+    if (advance(cfg_.maxCycles))
+        return collectResult(true);
     warn("run() hit the cycle cap (possible live-lock)");
     return collectResult(false);
 }
@@ -193,13 +222,8 @@ System::run()
 RunResult
 System::runWithPowerFailure(Tick fail_at)
 {
-    while (sim_.now() < fail_at) {
-        if (done())
-            return collectResult(true);
-        scheduleThreads(sim_.now());
-        maybeEndWarmup();
-        sim_.step();
-    }
+    if (advance(fail_at))
+        return collectResult(true);
     executeCrashDrain(sim_.now());
     return collectResult(false);
 }

@@ -150,6 +150,7 @@ class System : public cpu::MemPort
 
   private:
     bool done() const;
+    bool advance(Tick limit);
     void scheduleThreads(Tick now);
     void maybeEndWarmup();
     void executeCrashDrain(Tick now);
@@ -175,6 +176,9 @@ class System : public cpu::MemPort
     std::vector<std::vector<ThreadId>> runQueues_;
     std::vector<std::size_t> runIndex_;
     Tick nextScheduleCheck_ = 0;
+    /** Any core oversubscribed? Then fast-forwards must stop at every
+     *  schedule check so context switches land on the same cycles. */
+    bool multiQueued_ = false;
 
     bool crashed_ = false;
     bool warmupDone_ = false;

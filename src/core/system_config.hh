@@ -78,6 +78,14 @@ struct SystemConfig
     Tick maxCycles = 100'000'000;
 
     /**
+     * Fast-forward the clock across cycles in which every component
+     * self-reports quiescence (Clocked::nextActiveTick). Results are
+     * bit-identical with it on or off (asserted by test_sweep); the
+     * switch exists for A/B verification and as a kill switch.
+     */
+    bool fastForwardEnabled = true;
+
+    /**
      * Retired-instruction count after which all statistics reset and the
      * cycle baseline restarts — stands in for the paper's 10B-instruction
      * fast-forward that warms the DRAM cache before measurement.

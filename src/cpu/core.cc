@@ -236,5 +236,35 @@ Core::tick(Tick now)
     dispatch(now);
 }
 
+Tick
+Core::nextActiveTick(Tick now) const
+{
+    // Stages that mutate state or account a stall statistic on every
+    // cycle pin the core to "active now": a non-empty store buffer
+    // retries (or counts snoop/FEB-full stalls) each cycle, and a
+    // durability wait counts boundaryWaitCycles each cycle.
+    if (waitingDurable_ || !sb_.empty())
+        return now;
+
+    Tick next = maxTick;
+    if (!feb_.empty()) {
+        // Egress acts (or counts pathBlockedCycles) once the launched
+        // head arrives; launch acts at the next bandwidth slot.
+        if (feb_.front().launched)
+            next = std::min(next, std::max(now, feb_.front().arriveAt));
+        if (launchedCount_ < feb_.size())
+            next = std::min(next, std::max(now, nextLaunch_));
+    }
+    // Retirement acts when the ROB head's completion time is reached.
+    if (!rob_.empty())
+        next = std::min(next, std::max(now, rob_.front().ready));
+    // Dispatch acts once any flush/context-switch penalty expires. A
+    // lock-blocked thread re-steps (and counts lockBlockedCycles) every
+    // cycle, which this covers: dispatchBlockedUntil_ <= now then.
+    if (thread_ != nullptr && !thread_->halted())
+        next = std::min(next, std::max(now, dispatchBlockedUntil_));
+    return next;
+}
+
 } // namespace cpu
 } // namespace lwsp

@@ -100,7 +100,15 @@ class Core : public Clocked
     CoreId id() const { return id_; }
 
     /** Attach (or detach with nullptr) the running thread context. */
-    void setThread(ThreadContext *t) { thread_ = t; }
+    void
+    setThread(ThreadContext *t)
+    {
+        thread_ = t;
+        // The flag described the outgoing thread; dispatch() would clear
+        // it on the next tick anyway, but clearing it here keeps it
+        // accurate across fast-forwarded (skipped) cycles too.
+        lockBlocked_ = false;
+    }
     ThreadContext *thread() { return thread_; }
 
     /**
@@ -117,6 +125,7 @@ class Core : public Clocked
     }
 
     void tick(Tick now) override;
+    Tick nextActiveTick(Tick now) const override;
 
     /** @return true when ROB, SB and FEB are all empty. */
     bool

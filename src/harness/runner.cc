@@ -59,7 +59,7 @@ prepareProgram(workloads::Workload &&workload, const RunSpec &spec)
 }
 
 RunOutcome
-Runner::run(const RunSpec &spec)
+Runner::runUncached(const RunSpec &spec)
 {
     const auto &profile = workloads::profileByName(spec.workload);
     workloads::Workload w = workloads::generate(profile);
@@ -83,40 +83,88 @@ Runner::run(const RunSpec &spec)
     return out;
 }
 
-std::string
-Runner::baselineKey(const RunSpec &spec) const
+RunOutcome
+Runner::run(const RunSpec &spec)
 {
+    std::string key = specKey(spec);
+    std::promise<RunOutcome> promise;
+    std::shared_future<RunOutcome> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = memo_.find(key);
+        if (it == memo_.end()) {
+            future = promise.get_future().share();
+            memo_.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (owner) {
+        // Simulate outside the lock so other points proceed in parallel;
+        // same-key requesters block on the shared future instead of
+        // re-simulating.
+        try {
+            promise.set_value(runUncached(spec));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+std::string
+specKey(const RunSpec &spec)
+{
+    // Fold each optional to the value the config/compile path derives
+    // from an unset field (see makeConfig/prepareProgram), so explicit
+    // defaults share the unset point's cache entry.
+    const auto &profile = workloads::profileByName(spec.workload);
+    unsigned wpq = spec.wpqEntries.value_or(64);
+    unsigned threshold =
+        core::schemeUsesCompiledBinary(spec.scheme)
+            ? spec.storeThreshold.value_or(wpq / 2)
+            : 0;  // uncompiled schemes never consult the threshold
     std::ostringstream os;
-    os << spec.workload << '/' << spec.threads.value_or(0) << '/'
-       << spec.pmReadCycles.value_or(0) << '/'
-       << spec.pmWriteCycles.value_or(0);
+    os << spec.workload << '/' << static_cast<int>(spec.scheme) << '/'
+       << wpq << '/' << threshold << '/'
+       << (spec.victimPolicy ? static_cast<int>(*spec.victimPolicy) : -1)
+       << '/' << spec.persistPathGBps.value_or(4.0) << '/'
+       << spec.threads.value_or(profile.threads) << '/'
+       << spec.pmReadCycles.value_or(350) << '/'
+       << spec.pmWriteCycles.value_or(180) << '/'
+       << spec.extraPathLatency.value_or(0) << '/'
+       << spec.drainInterval.value_or(1) << '/'
+       << spec.strictFlushAcks.value_or(false);
     return os.str();
+}
+
+RunSpec
+Runner::baselineSpec(const RunSpec &spec)
+{
+    RunSpec base = spec;
+    base.scheme = Scheme::Baseline;
+    // The baseline keeps Table I memory parameters; CXL media-latency
+    // overrides apply to it as well (the paper normalizes within each
+    // configuration).
+    base.wpqEntries.reset();
+    base.storeThreshold.reset();
+    base.victimPolicy.reset();
+    base.persistPathGBps.reset();
+    base.extraPathLatency.reset();
+    base.drainInterval.reset();
+    base.strictFlushAcks.reset();
+    return base;
 }
 
 double
 Runner::slowdownVsBaseline(const RunSpec &spec)
 {
-    std::string key = baselineKey(spec);
-    auto it = baselineCycles_.find(key);
-    if (it == baselineCycles_.end()) {
-        RunSpec base = spec;
-        base.scheme = Scheme::Baseline;
-        // The baseline keeps Table I memory parameters; CXL media-latency
-        // overrides apply to it as well (the paper normalizes within each
-        // configuration).
-        base.wpqEntries.reset();
-        base.storeThreshold.reset();
-        base.victimPolicy.reset();
-        base.persistPathGBps.reset();
-        base.extraPathLatency.reset();
-        base.drainInterval.reset();
-        base.strictFlushAcks.reset();
-        Tick cycles = run(base).result.cycles;
-        it = baselineCycles_.emplace(key, cycles).first;
-    }
+    Tick base_cycles = run(baselineSpec(spec)).result.cycles;
     Tick scheme_cycles = run(spec).result.cycles;
     return static_cast<double>(scheme_cycles) /
-           static_cast<double>(it->second);
+           static_cast<double>(base_cycles);
 }
 
 double

@@ -2,16 +2,27 @@
  * @file
  * Experiment runner: generates a workload, compiles it for the requested
  * scheme, assembles the system configuration (with per-experiment
- * overrides for the sensitivity studies) and runs it. Baseline runs are
- * cached so slowdown normalization doesn't recompute them.
+ * overrides for the sensitivity studies) and runs it.
+ *
+ * Every run is memoized behind a canonical spec key, so (a) repeated
+ * points — the sensitivity figures all revisit the default LightWSP
+ * configuration, and every slowdown normalization revisits its Baseline
+ * run — simulate exactly once, and (b) the cache can be shared by the
+ * worker threads of a parallel sweep: the first thread to request a key
+ * simulates while later requesters block on a shared future, never
+ * duplicating work. Simulations themselves are deterministic (fixed
+ * per-spec RNG seeding, no global mutable state), so a memoized result
+ * is bit-identical to a fresh one.
  */
 
 #ifndef LWSP_HARNESS_RUNNER_HH
 #define LWSP_HARNESS_RUNNER_HH
 
-#include <map>
+#include <future>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "core/system.hh"
 #include "workloads/generator.hh"
@@ -56,20 +67,41 @@ prepareProgram(workloads::Workload &&workload, const RunSpec &spec);
 class Runner
 {
   public:
-    /** Execute one experiment point. */
+    /**
+     * Execute one experiment point (memoized; thread-safe). Concurrent
+     * calls with distinct specs simulate in parallel; concurrent calls
+     * with the same spec simulate once.
+     */
     RunOutcome run(const RunSpec &spec);
 
     /**
      * Cycles of @p spec divided by the matching Baseline run's cycles
-     * (same workload, threads and memory configuration).
+     * (same workload, threads and memory configuration). Both runs go
+     * through the shared memo, so neither is ever simulated twice.
      */
     double slowdownVsBaseline(const RunSpec &spec);
 
-  private:
-    std::string baselineKey(const RunSpec &spec) const;
+    /**
+     * The Baseline point @p spec is normalized against: scheme-specific
+     * overrides reset, workload/threads/PM-latency overrides kept (the
+     * paper normalizes within each memory configuration).
+     */
+    static RunSpec baselineSpec(const RunSpec &spec);
 
-    std::map<std::string, Tick> baselineCycles_;
+  private:
+    RunOutcome runUncached(const RunSpec &spec);
+
+    std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_future<RunOutcome>> memo_;
 };
+
+/**
+ * Canonical memo key: every optional folded to the value makeConfig /
+ * prepareProgram would derive anyway, so a spec with an explicit default
+ * (e.g. wpqEntries = 64) and one leaving the field unset map to the same
+ * simulation. Must stay in lockstep with makeConfig()/prepareProgram().
+ */
+std::string specKey(const RunSpec &spec);
 
 /**
  * Region-level persistence efficiency, Eq. (1) of the paper:

@@ -1,0 +1,149 @@
+#include "sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+namespace lwsp {
+namespace harness {
+
+void
+parallelFor(unsigned jobs, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, n));
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+SweepExecutor::SweepExecutor(unsigned jobs)
+    : jobs_(jobs ? jobs : std::max(1u, std::thread::hardware_concurrency()))
+{
+}
+
+template <typename Fn>
+void
+SweepExecutor::sweep(std::size_t n, Fn &&fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    parallelFor(jobs_, n, std::forward<Fn>(fn));
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    last_.jobs = jobs_;
+    last_.points = n;
+    last_.wallSeconds = secs;
+    total_.jobs = jobs_;
+    total_.points += n;
+    total_.wallSeconds += secs;
+}
+
+std::vector<RunOutcome>
+SweepExecutor::runAll(Runner &runner, const std::vector<RunSpec> &specs)
+{
+    std::vector<RunOutcome> out(specs.size());
+    sweep(specs.size(), [&](std::size_t i) { out[i] = runner.run(specs[i]); });
+    last_.simulatedCycles = 0;
+    for (const auto &o : out)
+        last_.simulatedCycles += o.result.cycles;
+    total_.simulatedCycles += last_.simulatedCycles;
+    return out;
+}
+
+std::vector<double>
+SweepExecutor::slowdowns(Runner &runner, const std::vector<RunSpec> &specs)
+{
+    // Phase the baselines in as explicit points: the memo dedupes them,
+    // and claiming them up front lets distinct baselines simulate
+    // concurrently instead of each hiding behind its first scheme point.
+    std::vector<RunSpec> all;
+    all.reserve(specs.size() * 2);
+    for (const auto &s : specs)
+        all.push_back(Runner::baselineSpec(s));
+    for (const auto &s : specs)
+        all.push_back(s);
+
+    std::vector<double> out(specs.size());
+    std::uint64_t cycles = 0;
+    std::mutex cycles_mutex;
+    sweep(all.size(), [&](std::size_t i) {
+        RunOutcome o = runner.run(all[i]);
+        if (i >= specs.size()) {
+            std::size_t p = i - specs.size();
+            Tick base = runner.run(Runner::baselineSpec(specs[p]))
+                            .result.cycles;
+            out[p] = static_cast<double>(o.result.cycles) /
+                     static_cast<double>(base);
+        }
+        std::lock_guard<std::mutex> lock(cycles_mutex);
+        cycles += o.result.cycles;
+    });
+    last_.simulatedCycles = cycles;
+    total_.simulatedCycles += cycles;
+    return out;
+}
+
+void
+writeSweepJson(const std::string &path, const std::string &bench,
+               const SweepStats &stats)
+{
+    std::ofstream os(path);
+    if (!os) {
+        // Not warn(): benches run with setLogQuiet(true), and a silently
+        // dropped telemetry file defeats the flag's purpose.
+        std::cerr << "error: cannot write sweep telemetry to " << path
+                  << '\n';
+        return;
+    }
+    os << "{\"bench\":\"" << bench << "\",\"jobs\":" << stats.jobs
+       << ",\"points\":" << stats.points << ",\"wall_seconds\":"
+       << stats.wallSeconds << ",\"points_per_second\":"
+       << stats.pointsPerSecond() << ",\"simulated_cycles\":"
+       << stats.simulatedCycles << "}\n";
+}
+
+} // namespace harness
+} // namespace lwsp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parallel experiment-sweep engine.
+ *
+ * Every figure/table reproduction is a sweep over independent
+ * (workload x scheme x config) simulation points. SweepExecutor fans a
+ * spec list out across worker threads with a shared claim counter
+ * (work-stealing at point granularity: whichever worker frees up first
+ * takes the next unclaimed index), while results land in a vector slot
+ * per input index — so the output order, and therefore every table, CSV
+ * byte and geomean, is identical to a serial sweep regardless of job
+ * count or scheduling. Points themselves are deterministic: each
+ * simulation seeds its RNGs from its own spec (no global RNG, no shared
+ * mutable state beyond the Runner's mutex-guarded memo), which is what
+ * makes "parallel == serial, bit for bit" a contract rather than a hope.
+ *
+ * The executor also keeps wall-clock/throughput telemetry per sweep and
+ * accumulated across the binary's lifetime, emitted as a BENCH_sweep.json
+ * record to track the repo's performance trajectory.
+ */
+
+#ifndef LWSP_HARNESS_SWEEP_HH
+#define LWSP_HARNESS_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace lwsp {
+namespace harness {
+
+/**
+ * Run @p fn(i) for every i in [0, n) on up to @p jobs threads. Order of
+ * execution is unspecified; the call returns once every index finished.
+ * The first exception thrown by any index is rethrown to the caller
+ * (after all workers have joined). jobs <= 1 degenerates to a plain
+ * serial loop with no thread machinery.
+ */
+void parallelFor(unsigned jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/** Wall-clock/throughput instrumentation for one or more sweeps. */
+struct SweepStats
+{
+    unsigned jobs = 1;
+    std::size_t points = 0;            ///< simulation points dispatched
+    double wallSeconds = 0.0;
+    std::uint64_t simulatedCycles = 0; ///< sum of per-point cycle counts
+
+    double
+    pointsPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(points) / wallSeconds
+                   : 0.0;
+    }
+};
+
+class SweepExecutor
+{
+  public:
+    /** @param jobs worker threads; 0 = std::thread::hardware_concurrency */
+    explicit SweepExecutor(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute every spec through @p runner. Result i corresponds to
+     * specs[i]; bit-identical to calling runner.run(specs[i]) in order.
+     */
+    std::vector<RunOutcome> runAll(Runner &runner,
+                                   const std::vector<RunSpec> &specs);
+
+    /**
+     * Slowdown-vs-baseline for every spec (deterministic order). The
+     * Baseline runs are claimed as sweep points of their own first, so
+     * distinct baselines compute in parallel instead of serializing
+     * behind the memo of whichever scheme point asked first.
+     */
+    std::vector<double> slowdowns(Runner &runner,
+                                  const std::vector<RunSpec> &specs);
+
+    /** Telemetry for the most recent runAll/slowdowns call. */
+    const SweepStats &lastStats() const { return last_; }
+
+    /** Telemetry accumulated over every sweep this executor ran. */
+    const SweepStats &totalStats() const { return total_; }
+
+  private:
+    template <typename Fn>
+    void sweep(std::size_t n, Fn &&fn);
+
+    unsigned jobs_;
+    SweepStats last_;
+    SweepStats total_;
+};
+
+/**
+ * Write one BENCH_sweep.json record (single-line JSON object so shell
+ * aggregation in scripts/bench_all.sh stays trivial).
+ */
+void writeSweepJson(const std::string &path, const std::string &bench,
+                    const SweepStats &stats);
+
+} // namespace harness
+} // namespace lwsp
+
+#endif // LWSP_HARNESS_SWEEP_HH

@@ -240,6 +240,34 @@ MemController::tick(Tick now)
     }
 }
 
+Tick
+MemController::nextActiveTick(Tick now) const
+{
+    if (!cfg_.gatingEnabled) {
+        // Plain FIFO: the head drains at the next drain slot.
+        if (wpq_.empty())
+            return maxTick;
+        return std::max(now, nextDrainTick_);
+    }
+    if (ready(drainCursor_)) {
+        // Entry drains are paced by the drain timer; cursor skips over
+        // ready-but-entryless regions (and their flush-ACK exchange)
+        // happen unconditionally at the top of tick().
+        if (!wpq_.hasRegion(drainCursor_))
+            return now;
+        return std::max(now, nextDrainTick_);
+    }
+    // Not ready: only the WPQ-full deadlock fallback (awaited boundary
+    // not yet arrived) can make progress, at the next drain slot. Any
+    // other transition requires an inbound message or WPQ insertion —
+    // external stimuli by the fast-forward contract.
+    auto it = regions_.find(drainCursor_);
+    bool bdry_here = (it != regions_.end() && it->second.bdryArrived);
+    if (wpq_.full() && !bdry_here)
+        return std::max(now, nextDrainTick_);
+    return maxTick;
+}
+
 MemController::LoadResult
 MemController::serveLoadMiss(Addr addr, Tick now)
 {

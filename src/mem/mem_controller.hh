@@ -90,6 +90,7 @@ class MemController : public Clocked, public McEndpoint
     void receive(const McMsg &msg, Tick now) override;
 
     void tick(Tick now) override;
+    Tick nextActiveTick(Tick now) const override;
 
     // ---- Load path ------------------------------------------------------
     struct LoadResult

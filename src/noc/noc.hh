@@ -12,6 +12,7 @@
 #ifndef LWSP_NOC_NOC_HH
 #define LWSP_NOC_NOC_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "common/stats.hh"
@@ -71,6 +72,17 @@ class Noc : public Clocked
                 endpoints_.at(mc)->receive(msg, now);
             }
         }
+    }
+
+    Tick
+    nextActiveTick(Tick now) const override
+    {
+        Tick next = maxTick;
+        for (const auto &inbox : inboxes_) {
+            if (!inbox.empty())
+                next = std::min(next, std::max(now, inbox.headReadyTick()));
+        }
+        return next;
     }
 
     /**

@@ -31,6 +31,27 @@ class Clocked
     /** Advance one cycle. @p now is the cycle being executed. */
     virtual void tick(Tick now) = 0;
 
+    /**
+     * Earliest cycle >= @p now at which tick() might do anything — change
+     * state or account a statistic. Components that can prove they are
+     * quiescent until a known cycle (a delay-line head still in flight, a
+     * drain-interval timer, a ROB head completing later) return that
+     * cycle; maxTick means "inert until externally stimulated". The
+     * default (always @p now) is safe for any component.
+     *
+     * Contract: between @p now and the returned tick, skipping this
+     * component's tick() calls entirely must be behaviour-preserving,
+     * provided no external method (message delivery, queue insertion,
+     * thread assignment) is invoked on it in that window. The Simulator
+     * uses the minimum over all components to fast-forward through
+     * provably dead cycles with bit-identical results.
+     */
+    virtual Tick
+    nextActiveTick(Tick now) const
+    {
+        return now;
+    }
+
     /** Instance name for logging/statistics. */
     const std::string &name() const { return name_; }
 

@@ -75,6 +75,14 @@ class DelayLine
         return item;
     }
 
+    /** Cycle at which the head item becomes ready; requires non-empty. */
+    Tick
+    headReadyTick() const
+    {
+        LWSP_ASSERT(!items_.empty(), "headReadyTick on empty line");
+        return items_.front().ready;
+    }
+
     bool empty() const { return items_.empty(); }
     std::size_t size() const { return items_.size(); }
     std::size_t capacity() const { return capacity_; }

@@ -11,7 +11,7 @@
 #ifndef LWSP_SIM_SIMULATOR_HH
 #define LWSP_SIM_SIMULATOR_HH
 
-#include <functional>
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.hh"
@@ -46,12 +46,47 @@ class Simulator
     }
 
     /**
+     * Earliest cycle >= now() at which any component might act (see
+     * Clocked::nextActiveTick). Equal to now() whenever some component is
+     * active this cycle; maxTick when every component is inert until an
+     * external stimulus.
+     */
+    Tick
+    nextActiveTick() const
+    {
+        Tick next = maxTick;
+        for (const auto *c : components_) {
+            next = std::min(next, c->nextActiveTick(now_));
+            if (next <= now_)
+                return now_;
+        }
+        return std::max(next, now_);
+    }
+
+    /**
+     * Fast-forward the clock to @p target without ticking anything. Only
+     * legal when every component is provably inert over the skipped
+     * window (target <= nextActiveTick()).
+     */
+    void
+    advanceTo(Tick target)
+    {
+        LWSP_ASSERT(target >= now_, "advanceTo into the past");
+        now_ = target;
+    }
+
+    /**
      * Run until @p done returns true or @p max_cycles elapse.
+     *
+     * The predicate is a template parameter so the per-cycle call inlines
+     * instead of going through std::function's type-erased dispatch (it
+     * sits on the hottest loop in the simulator).
      *
      * @return true if the predicate fired, false on cycle-limit exhaustion
      */
+    template <typename Pred>
     bool
-    runUntil(const std::function<bool()> &done, Tick max_cycles)
+    runUntil(Pred &&done, Tick max_cycles)
     {
         Tick limit = now_ + max_cycles;
         while (now_ < limit) {

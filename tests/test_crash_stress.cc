@@ -8,9 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "common/logging.hh"
 #include "compiler/compiler.hh"
 #include "core/system.hh"
+#include "harness/sweep.hh"
 #include "workloads/generator.hh"
 
 using namespace lwsp;
@@ -62,29 +67,44 @@ crashSweep(core::SystemConfig cfg, unsigned threads, unsigned threshold,
             << "stress config did not exercise the fallback";
     }
 
-    for (double f : {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}) {
+    // Each crash fraction is an independent (victim, recovery) pair, so
+    // they fan out across worker threads. gtest assertions are not
+    // thread-safe; workers record failures as strings checked after the
+    // join.
+    const std::vector<double> fracs = {0.05, 0.2,  0.35, 0.5,
+                                       0.65, 0.8,  0.95};
+    std::vector<std::string> errors(fracs.size());
+    harness::parallelFor(0, fracs.size(), [&](std::size_t i) {
+        double f = fracs[i];
         core::System victim(cfg, prog, threads);
         auto vr =
             victim.runWithPowerFailure(static_cast<Tick>(f * gr.cycles));
         if (vr.completed)
-            continue;
+            return;
         auto rec = core::System::recover(cfg, prog, threads,
                                          victim.pmImage(), lock_addrs);
         auto rr = rec->run();
-        ASSERT_TRUE(rr.completed) << "recovery stuck at f=" << f;
+        if (!rr.completed) {
+            errors[i] = "recovery stuck at f=" + std::to_string(f);
+            return;
+        }
 
+        std::ostringstream err;
         Addr lo = workloads::Workload::heapBase;
         Addr hi = lo + static_cast<Addr>(threads) * footprint;
         auto heap = rec->pmImage().diffInRange(golden.pmImage(), lo, hi);
-        EXPECT_TRUE(heap.empty())
-            << "heap diff at f=" << f << " addr=0x" << std::hex
-            << (heap.empty() ? 0 : heap[0]);
+        if (!heap.empty())
+            err << "heap diff at f=" << f << " addr=0x" << std::hex
+                << heap[0] << std::dec << '\n';
         Addr sh = workloads::Workload::sharedBase;
-        EXPECT_TRUE(rec->pmImage()
-                        .diffInRange(golden.pmImage(), sh, sh + 4096)
-                        .empty())
-            << "shared diff at f=" << f;
-    }
+        if (!rec->pmImage()
+                 .diffInRange(golden.pmImage(), sh, sh + 4096)
+                 .empty())
+            err << "shared diff at f=" << f << '\n';
+        errors[i] = err.str();
+    });
+    for (std::size_t i = 0; i < fracs.size(); ++i)
+        EXPECT_TRUE(errors[i].empty()) << errors[i];
 }
 
 } // namespace
