@@ -4,7 +4,7 @@
 # per-bench telemetry into one BENCH_sweep.json.
 #
 #   scripts/bench_all.sh [--quick] [--jobs N] [--build-dir DIR]
-#                        [--out-dir DIR] [--speedup]
+#                        [--out-dir DIR] [--speedup] [--fuzz]
 #
 #   --quick      one representative app per suite (fast smoke pass)
 #   --jobs N     sweep worker threads per bench (default: all cores)
@@ -13,6 +13,9 @@
 #   --speedup    additionally run fig07 at --jobs 1 and --jobs $(nproc),
 #                byte-diff the two CSVs and record the wall-clock ratio
 #                in BENCH_sweep.json
+#   --fuzz       additionally run the long crash-consistency fuzzing
+#                campaign (the -DLWSP_FUZZ_TESTS=ON tier: hundreds of
+#                seeds; budget tens of minutes)
 #
 # CSV checking: quick-mode rows are a subset of the full reference
 # tables, so each emitted row is compared against the same-named row in
@@ -25,6 +28,7 @@ set -euo pipefail
 QUICK=""
 JOBS=0
 SPEEDUP=0
+FUZZ=0
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build"
 OUT_DIR=""
@@ -36,8 +40,9 @@ while [ $# -gt 0 ]; do
         --build-dir) BUILD_DIR="$2"; shift ;;
         --out-dir) OUT_DIR="$2"; shift ;;
         --speedup) SPEEDUP=1 ;;
+        --fuzz) FUZZ=1 ;;
         *) echo "usage: $0 [--quick] [--jobs N] [--build-dir DIR]" \
-                "[--out-dir DIR] [--speedup]" >&2; exit 2 ;;
+                "[--out-dir DIR] [--speedup] [--fuzz]" >&2; exit 2 ;;
     esac
     shift
 done
@@ -146,6 +151,27 @@ if [ "$SPEEDUP" = 1 ]; then
     SPEEDUP_JSON=",\"speedup\":{\"bench\":\"fig07_slowdown\",\
 \"serial_seconds\":$SERIAL,\"parallel_jobs\":$NP,\
 \"parallel_seconds\":$PARALLEL,\"ratio\":$RATIO}"
+fi
+
+if [ "$FUZZ" = 1 ]; then
+    FC="$BUILD_DIR/src/fuzz/fuzz_crash"
+    [ -x "$FC" ] || FC="$(find "$BUILD_DIR" -name fuzz_crash -type f \
+                          -perm -u+x | head -1)"
+    if [ -z "$FC" ] || [ ! -x "$FC" ]; then
+        echo "error: fuzz_crash binary not found under $BUILD_DIR" >&2
+        FAILED=1
+    else
+        echo "== long fuzz campaign (300 seeds, mixed sources)"
+        if "$FC" --seeds 300 --base-seed 1000 --mode mixed \
+                --crash-points 16 | tee "$OUT_DIR/fuzz_long.txt" \
+                | tail -3; then
+            echo "  fuzz campaign clean"
+        else
+            echo "  FUZZ CAMPAIGN FAILED (reproducer spec above," \
+                 "full log: $OUT_DIR/fuzz_long.txt)"
+            FAILED=1
+        fi
+    fi
 fi
 
 {

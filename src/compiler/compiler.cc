@@ -1,5 +1,7 @@
 #include "compiler.hh"
 
+#include <algorithm>
+
 #include "compiler/passes.hh"
 #include "ir/verifier.hh"
 
@@ -35,6 +37,13 @@ LightWspCompiler::compile(std::unique_ptr<Module> input) const
     for (FuncId f = 0; f < m.numFunctions(); ++f)
         combineRegions(m.function(f), cfg_);
 
+    // The loop must exit on a state whose checkpoints were derived for
+    // the *final* boundary placement: a boundary inserted after the last
+    // insertCheckpoints() has no stores for the registers dirtied on its
+    // incoming paths, and a crash that persists its region but not the
+    // next recovers one region stale (torn checkpoint). Hence the exit
+    // paths below break after insertion, never after enforcement.
+    unsigned prev_worst = ~0u;
     for (unsigned iter = 0; iter < cfg_.maxFixpointIterations; ++iter) {
         ++out.stats.fixpointIterations;
         for (FuncId f = 0; f < m.numFunctions(); ++f)
@@ -46,19 +55,32 @@ LightWspCompiler::compile(std::unique_ptr<Module> input) const
                 m, cfg_.pruneCheckpoints, &out.stats.prunedCheckpoints);
         }
 
-        bool violated = false;
+        unsigned worst = 0;
         for (FuncId f = 0; f < m.numFunctions(); ++f)
-            violated = hasThresholdViolation(m.function(f), cfg_) ||
-                       violated;
-        if (!violated)
+            worst = std::max(worst,
+                             computeStoreCounts(m.function(f)).worst);
+        const unsigned budget =
+            cfg_.storeThreshold > 1 ? cfg_.storeThreshold - 1 : 1;
+        if (worst <= budget)
             break;
+
+        // A region can be irreducibly over-threshold: splitting ahead of
+        // a loop header's checkpoint run just moves the run to the new
+        // boundary on the next derivation. Once splitting stops helping
+        // (or the budget runs out), keep the sound checkpoint placement
+        // and let the runtime WPQ-overflow fallback absorb the residue.
+        if (worst >= prev_worst ||
+            iter + 1 == cfg_.maxFixpointIterations) {
+            warn("region threshold fixpoint did not converge (worst ",
+                 worst, " >= threshold ", cfg_.storeThreshold,
+                 "); runtime WPQ-overflow fallback will cover the "
+                 "residue");
+            break;
+        }
+        prev_worst = worst;
 
         for (FuncId f = 0; f < m.numFunctions(); ++f)
             enforceStoreThreshold(m.function(f), cfg_);
-        if (iter + 1 == cfg_.maxFixpointIterations) {
-            warn("region threshold fixpoint did not converge; runtime "
-                 "WPQ-overflow fallback will cover the residue");
-        }
     }
 
     for (FuncId f = 0; f < m.numFunctions(); ++f)

@@ -346,38 +346,59 @@ insertCheckpoints(Module &m, bool prune_constants,
         Function &fn = m.function(f);
         Cfg cfg(fn);
 
-        // Forward "dirty since last checkpoint" dataflow. A Boundary
-        // resets all bits: live-and-dirty registers get checkpointed
-        // there, and dirty-but-dead registers are provably never read
-        // again before redefinition.
+        // Forward "slot-stale" dataflow: a register is stale while its
+        // checkpoint slot may not hold its current value, and only an
+        // actual CkptStore cleans it. A boundary that prunes a constant
+        // covers *that site* with a recovery recipe but writes nothing
+        // to the slot, so the register must stay stale: a later site
+        // where the constness has been lost (a join of differently-
+        // valued paths, a call-site merge) has neither recipe nor
+        // current slot unless it stores the register itself.
         std::vector<RegMask> dirty_out(fn.numBlocks(), 0);
         std::vector<RegMask> dirty_in(fn.numBlocks(), 0);
 
+        auto constMask = [&](const ConstProp::State &st) {
+            RegMask mk = 0;
+            for (Reg r = 0; r < numGprs; ++r)
+                if (st[r].isConst())
+                    mk |= regBit(r);
+            return mk;
+        };
+
         auto transfer = [&](BlockId b, RegMask in) {
             RegMask d = in;
-            for (const auto &inst : fn.block(b).insts()) {
+            ConstProp::State cstate = consts.blockIn(f, b);
+            const auto &insts = fn.block(b).insts();
+            for (std::size_t i = 0; i < insts.size(); ++i) {
+                const Instruction &inst = insts[i];
                 if (inst.op == Opcode::Boundary) {
-                    d = 0;
+                    RegMask stored = d & live.liveAfter(f, b, i);
+                    if (prune_constants)
+                        stored &= ~constMask(cstate);
+                    d &= ~stored;
                 } else if (inst.op == Opcode::Call) {
-                    // Callee checkpoints its live-outs at its exit
-                    // boundary; Ret's stack pop redefines sp afterwards.
-                    d = (d & ~live.funcDef(inst.callee)) | regBit(spReg);
+                    // The callee checkpoints what it dirties, but may
+                    // prune its live-outs into recipes at its *own*
+                    // sites: their slots can come back stale. Ret's
+                    // stack pop redefines sp afterwards.
+                    d |= live.funcDef(inst.callee) | regBit(spReg);
                 } else if (inst.op == Opcode::Ret) {
                     d |= regBit(spReg);
                 } else {
                     d |= live.instDef(inst);
                 }
+                consts.transfer(inst, cstate);
             }
             return d;
         };
 
-        // The thread-spawn convention initializes r0 (thread id) and r15
-        // (stack pointer) in hardware, so at the entry function they are
-        // dirty: their checkpoint slots do not yet hold their values.
-        // Treat every register as dirty there for safety. At non-entry
-        // functions the Call's implicit return-address push has just
-        // modified the stack pointer, so it arrives dirty everywhere.
-        const RegMask entry_seed = (f == 0) ? allRegs : regBit(spReg);
+        // Nothing is current on function entry. The entry function
+        // starts with hardware-initialized registers (r0 = thread id,
+        // r15 = stack pointer) over zeroed slots; a callee inherits
+        // whatever the caller left stale — in particular a caller
+        // register pruned as a constant at every caller site has never
+        // been materialized to its slot at all.
+        const RegMask entry_seed = allRegs;
 
         bool changed = true;
         while (changed) {
@@ -412,6 +433,8 @@ insertCheckpoints(Module &m, bool prune_constants,
                         if (!(want & regBit(r)))
                             continue;
                         if (prune_constants && cstate[r].isConst()) {
+                            // Recipe covers this site; the slot stays
+                            // stale for downstream sites.
                             ++pruned;
                             continue;
                         }
@@ -419,10 +442,10 @@ insertCheckpoints(Module &m, bool prune_constants,
                                      Instruction::ckptStore(r));
                         ++i;
                         ++inserted;
+                        d &= ~regBit(r);
                     }
-                    d = 0;
                 } else if (inst.op == Opcode::Call) {
-                    d = (d & ~live.funcDef(inst.callee)) | regBit(spReg);
+                    d |= live.funcDef(inst.callee) | regBit(spReg);
                 } else if (inst.op == Opcode::Ret) {
                     d |= regBit(spReg);
                 } else {

@@ -42,6 +42,12 @@ System::System(const SystemConfig &cfg,
         pm_.write(program.layout.pcSlot(t), noSiteSentinel);
     }
 
+    if (cfg_.oraclesEnabled) {
+        oracle_ = std::make_unique<mem::LrpoOracle>(cfg_.numMcs,
+                                                    cfg_.mc.gatingEnabled);
+        cfg_.mc.oracle = oracle_.get();
+    }
+
     std::vector<mem::McEndpoint *> endpoints;
     for (McId m = 0; m < cfg_.numMcs; ++m) {
         mcs_.push_back(std::make_unique<mem::MemController>(
@@ -228,8 +234,22 @@ System::runWithPowerFailure(Tick fail_at)
     return collectResult(false);
 }
 
+RunResult
+System::runWithDoubleFailureDuringDrain(Tick fail_at, unsigned drain_iters)
+{
+    if (advance(fail_at))
+        return collectResult(true);
+    // First failure: run the drain but lose power again after
+    // drain_iters quiescence iterations...
+    executeCrashDrain(sim_.now(), static_cast<int>(drain_iters));
+    // ...the battery-backed WPQ and MC registers survive, so the second
+    // failure's drain picks up exactly where the first stopped.
+    executeCrashDrain(sim_.now());
+    return collectResult(false);
+}
+
 void
-System::executeCrashDrain(Tick now)
+System::executeCrashDrain(Tick now, int interrupt_after)
 {
     crashed_ = true;
     // Step 1: in-flight MC-to-MC ACKs are guaranteed delivery by the
@@ -237,16 +257,20 @@ System::executeCrashDrain(Tick now)
     noc_.deliverAllNow(now);
     // Steps 2-5: iterate flush/ACK exchange to quiescence.
     bool progress = true;
+    int iters = 0;
     while (progress) {
+        if (interrupt_after >= 0 && iters >= interrupt_after)
+            return;  // power lost again mid-drain; no crashFinish()
         progress = false;
         for (auto &mc : mcs_)
             progress = mc->crashStep(now) || progress;
         noc_.deliverAllNow(now);
+        ++iters;
     }
     // Step 6: discard unpersisted entries (rolling back any undo-logged
     // fallback overflow of a region that never became ready).
     for (auto &mc : mcs_)
-        mc->crashFinish();
+        mc->crashFinish(now);
 }
 
 std::unique_ptr<System>

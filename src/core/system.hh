@@ -25,6 +25,7 @@
 #include "cpu/thread_context.hh"
 #include "mem/mem_controller.hh"
 #include "mem/mem_image.hh"
+#include "mem/oracle.hh"
 #include "noc/noc.hh"
 #include "sim/simulator.hh"
 
@@ -98,8 +99,24 @@ class System : public cpu::MemPort
      */
     RunResult runWithPowerFailure(Tick fail_at);
 
+    /**
+     * Like runWithPowerFailure(), but a second power failure interrupts
+     * the §IV-F drain protocol after @p drain_iters quiescence
+     * iterations. The WPQ and MC protocol registers are battery-backed,
+     * so the drain simply resumes from where it stopped — the paper's
+     * argument for why repeated failures are no worse than one. The
+     * interrupted progress must therefore be invisible: recovery matches
+     * a single-failure run at the same cycle.
+     */
+    RunResult runWithDoubleFailureDuringDrain(Tick fail_at,
+                                              unsigned drain_iters);
+
     /** @return true if the drain protocol actually executed. */
     bool crashed() const { return crashed_; }
+
+    /** Invariant oracle (null unless cfg.oraclesEnabled). */
+    mem::LrpoOracle *oracle() { return oracle_.get(); }
+    const mem::LrpoOracle *oracle() const { return oracle_.get(); }
 
     /** Post-crash (or final) persistent-memory state. */
     const mem::MemImage &pmImage() const { return pm_; }
@@ -153,11 +170,12 @@ class System : public cpu::MemPort
     bool advance(Tick limit);
     void scheduleThreads(Tick now);
     void maybeEndWarmup();
-    void executeCrashDrain(Tick now);
+    void executeCrashDrain(Tick now, int interrupt_after = -1);
     RunResult collectResult(bool completed);
 
     SystemConfig cfg_;
     const compiler::CompiledProgram &program_;
+    std::unique_ptr<mem::LrpoOracle> oracle_;
 
     mem::MemImage execMem_;
     mem::MemImage pm_;

@@ -93,6 +93,15 @@ struct SystemConfig
     std::uint64_t warmupInsts = 0;
 
     /**
+     * Compile the LRPO invariant oracles into this system: every MC
+     * reports protocol events to a System-owned mem::LrpoOracle that
+     * checks release ordering, WPQ occupancy and post-crash PM age every
+     * cycle (see mem/oracle.hh). Off by default — the hooks are
+     * null-pointer checks and the timing model is unchanged either way.
+     */
+    bool oraclesEnabled = false;
+
+    /**
      * Derive the per-scheme core/MC settings. Call once after setting the
      * scheme and any explicit overrides.
      */

@@ -1,0 +1,535 @@
+#include "fuzz/campaign.hh"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/random.hh"
+#include "compiler/compiler.hh"
+#include "core/system.hh"
+#include "fuzz/random_program.hh"
+#include "fuzz/random_workload.hh"
+#include "workloads/generator.hh"
+
+namespace lwsp {
+namespace fuzz {
+
+// ---- Spec strings ----------------------------------------------------------
+
+namespace {
+
+constexpr const char *specPrefix = "lwsp-fuzz:v1:";
+
+const char *
+modeToken(CrashMode m)
+{
+    switch (m) {
+      case CrashMode::None: return "campaign";
+      case CrashMode::Single: return "single";
+      case CrashMode::DoubleRecovery: return "dbl-rec";
+      case CrashMode::DoubleDrain: return "dbl-drain";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+CaseSpec::toString() const
+{
+    std::ostringstream os;
+    os << specPrefix << (source == Source::Workload ? "wl" : "ir")
+       << ":seed=" << seed << ":shrink=" << shrink;
+    if (mode != CrashMode::None) {
+        os << ":mode=" << modeToken(mode) << ":crash=" << crashAt;
+        if (mode == CrashMode::DoubleRecovery)
+            os << ":crash2=" << crashAt2;
+        if (mode == CrashMode::DoubleDrain)
+            os << ":drain=" << drainIters;
+    }
+    if (fault)
+        os << ":fault=1";
+    return os.str();
+}
+
+bool
+CaseSpec::parse(const std::string &s, CaseSpec &out, std::string &err)
+{
+    if (s.rfind(specPrefix, 0) != 0) {
+        err = "spec must start with '" + std::string(specPrefix) + "'";
+        return false;
+    }
+    std::string rest = s.substr(std::string(specPrefix).size());
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+        std::size_t colon = rest.find(':', pos);
+        if (colon == std::string::npos)
+            colon = rest.size();
+        tokens.push_back(rest.substr(pos, colon - pos));
+        pos = colon + 1;
+    }
+    if (tokens.empty()) {
+        err = "empty spec";
+        return false;
+    }
+
+    CaseSpec spec;
+    if (tokens[0] == "wl") {
+        spec.source = Source::Workload;
+    } else if (tokens[0] == "ir") {
+        spec.source = Source::Ir;
+    } else {
+        err = "unknown source '" + tokens[0] + "' (want wl|ir)";
+        return false;
+    }
+
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        if (tok.empty())
+            continue;
+        std::size_t eq = tok.find('=');
+        if (eq == std::string::npos) {
+            err = "token '" + tok + "' is not key=value";
+            return false;
+        }
+        std::string key = tok.substr(0, eq);
+        std::string val = tok.substr(eq + 1);
+        try {
+            if (key == "seed") {
+                spec.seed = std::stoull(val);
+            } else if (key == "shrink") {
+                spec.shrink = static_cast<unsigned>(std::stoul(val));
+            } else if (key == "mode") {
+                if (val == "campaign") spec.mode = CrashMode::None;
+                else if (val == "single") spec.mode = CrashMode::Single;
+                else if (val == "dbl-rec")
+                    spec.mode = CrashMode::DoubleRecovery;
+                else if (val == "dbl-drain")
+                    spec.mode = CrashMode::DoubleDrain;
+                else {
+                    err = "unknown mode '" + val + "'";
+                    return false;
+                }
+            } else if (key == "crash") {
+                spec.crashAt = std::stoull(val);
+            } else if (key == "crash2") {
+                spec.crashAt2 = std::stoull(val);
+            } else if (key == "drain") {
+                spec.drainIters = static_cast<unsigned>(std::stoul(val));
+            } else if (key == "fault") {
+                spec.fault = val != "0";
+            } else {
+                err = "unknown key '" + key + "'";
+                return false;
+            }
+        } catch (const std::exception &) {
+            err = "bad value in '" + tok + "'";
+            return false;
+        }
+    }
+    out = spec;
+    err.clear();
+    return true;
+}
+
+// ---- Case construction -----------------------------------------------------
+
+namespace {
+
+struct CaseBuild
+{
+    compiler::CompiledProgram prog;
+    core::SystemConfig cfg;
+    unsigned threads = 1;
+    std::size_t footprint = 0;
+    std::vector<Addr> lockAddrs;
+    std::string summary;
+};
+
+/**
+ * Derive the system + compiler configuration from the seed. The draw is
+ * independent of the shrink level so a shrunk reproducer still runs the
+ * same hardware shape it failed on. Ranges follow what the crash-stress
+ * suite has proven safe (tiny gated WPQs, strict commit, 1-4 MCs).
+ */
+CaseBuild
+buildCase(const CaseSpec &spec, bool oracles)
+{
+    FuzzProgram src = (spec.source == CaseSpec::Source::Workload)
+                          ? randomWorkloadProgram(spec.seed, spec.shrink)
+                          : randomIrProgram(spec.seed, spec.shrink);
+
+    Rng rng(spec.seed ^ 0x66757a7a2d636667ull); // "fuzz-cfg"
+    core::SystemConfig cfg;
+    cfg.scheme = core::Scheme::LightWsp;
+    static const unsigned mcChoices[] = {1, 2, 2, 4};
+    cfg.numMcs = mcChoices[rng.below(4)];
+    static const unsigned wpqChoices[] = {4, 8, 8, 64};
+    cfg.mc.wpqEntries = wpqChoices[rng.below(4)];
+    if (cfg.mc.wpqEntries <= 8)
+        cfg.core.febEntries = 8;
+    cfg.mc.strictFlushAcks = rng.chance(0.25);
+    bool oversubscribe = src.threads > 1 && rng.chance(0.3);
+    cfg.numCores = oversubscribe ? std::max(1u, src.threads / 2)
+                                 : std::min(4u, src.threads);
+    if (oversubscribe)
+        cfg.ctxQuantum = 1500;
+    cfg.maxCycles = 30'000'000;
+    cfg.oraclesEnabled = oracles;
+    cfg.applySchemeDefaults();
+
+    compiler::CompilerConfig ccfg;
+    static const unsigned thrChoices[] = {4, 8, 16, 32};
+    ccfg.storeThreshold = thrChoices[rng.below(4)];
+    compiler::LightWspCompiler comp(ccfg);
+
+    CaseBuild out;
+    out.prog = comp.compile(std::move(src.module));
+    out.cfg = cfg;
+    out.threads = src.threads;
+    out.footprint = src.footprintBytes;
+    out.lockAddrs = src.lockAddrs;
+    out.summary = src.summary + " mcs=" + std::to_string(cfg.numMcs) +
+                  " wpq=" + std::to_string(cfg.mc.wpqEntries) + " thr=" +
+                  std::to_string(ccfg.storeThreshold) +
+                  (cfg.mc.strictFlushAcks ? " strict" : "");
+    return out;
+}
+
+/** Golden state + event mine for one build. */
+struct Golden
+{
+    std::unique_ptr<core::System> sys;
+    Tick cycles = 0;
+    std::string error;  ///< nonempty: the golden run itself failed
+};
+
+Golden
+runGolden(const CaseBuild &bc, std::uint64_t &checks, unsigned &runs)
+{
+    Golden g;
+    g.sys = std::make_unique<core::System>(bc.cfg, bc.prog, bc.threads);
+    ++runs;
+    auto r = g.sys->run();
+    g.cycles = r.cycles;
+    if (auto *o = g.sys->oracle()) {
+        checks += o->checksRun();
+        if (!o->ok()) {
+            g.error = "golden run tripped oracle: " + o->firstViolation();
+            return g;
+        }
+    }
+    if (!r.completed)
+        g.error = "golden run did not complete (live-lock?)";
+    return g;
+}
+
+std::string
+diffAppState(const core::System &got, const core::System &golden,
+             const CaseBuild &bc, const char *what)
+{
+    Addr lo = workloads::Workload::heapBase;
+    Addr hi =
+        lo + static_cast<Addr>(bc.threads) * bc.footprint;
+    auto heap = got.pmImage().diffInRange(golden.pmImage(), lo, hi);
+    if (!heap.empty()) {
+        std::ostringstream os;
+        os << what << ": heap differs from golden at 0x" << std::hex
+           << heap[0] << " (" << std::dec << heap.size() << " words)";
+        return os.str();
+    }
+    Addr sh = workloads::Workload::sharedBase;
+    auto shared = got.pmImage().diffInRange(golden.pmImage(), sh,
+                                            sh + 4096);
+    if (!shared.empty()) {
+        std::ostringstream os;
+        os << what << ": shared page differs from golden at 0x"
+           << std::hex << shared[0];
+        return os.str();
+    }
+    return {};
+}
+
+/** Harvest a finished system's oracle; returns a violation or "". */
+std::string
+harvestOracle(core::System &sys, const char *what, std::uint64_t &checks)
+{
+    const auto *o = sys.oracle();
+    if (!o)
+        return {};
+    checks += o->checksRun();
+    if (!o->ok())
+        return std::string(what) + " tripped oracle: " +
+               o->firstViolation();
+    return {};
+}
+
+/**
+ * Execute one injection point. @return "" on pass, else the failure.
+ * pt.mode selects single / double-recovery / double-drain.
+ */
+std::string
+checkPoint(const CaseBuild &bc, const core::System &golden,
+           const CaseSpec &pt, std::uint64_t &checks, unsigned &runs)
+{
+    // The fault knob models a hardware bug in the victim machine only;
+    // recovery always runs on correct hardware.
+    core::SystemConfig vcfg = bc.cfg;
+    vcfg.mc.faultReleaseEarly = pt.fault;
+
+    core::System victim(vcfg, bc.prog, bc.threads);
+    ++runs;
+    core::RunResult vr;
+    if (pt.mode == CrashMode::DoubleDrain) {
+        vr = victim.runWithDoubleFailureDuringDrain(pt.crashAt,
+                                                    pt.drainIters);
+    } else {
+        vr = victim.runWithPowerFailure(pt.crashAt);
+    }
+    if (auto e = harvestOracle(victim, "victim", checks); !e.empty())
+        return e;
+    if (vr.completed)
+        return diffAppState(victim, golden, bc, "uncrashed victim");
+    if (!victim.crashed())
+        return "victim neither completed nor crashed";
+
+    auto rec = core::System::recover(bc.cfg, bc.prog, bc.threads,
+                                     victim.pmImage(), bc.lockAddrs);
+    ++runs;
+    core::RunResult rr;
+    if (pt.mode == CrashMode::DoubleRecovery) {
+        rr = rec->runWithPowerFailure(pt.crashAt2);
+        if (auto e = harvestOracle(*rec, "recovery-1", checks);
+            !e.empty()) {
+            return e;
+        }
+        if (!rr.completed) {
+            if (!rec->crashed())
+                return "recovery-1 neither completed nor crashed";
+            auto rec2 = core::System::recover(bc.cfg, bc.prog,
+                                              bc.threads, rec->pmImage(),
+                                              bc.lockAddrs);
+            ++runs;
+            auto r2 = rec2->run();
+            if (auto e = harvestOracle(*rec2, "recovery-2", checks);
+                !e.empty()) {
+                return e;
+            }
+            if (!r2.completed)
+                return "recovery-2 did not complete";
+            return diffAppState(*rec2, golden, bc, "double-crash");
+        }
+        return diffAppState(*rec, golden, bc, "double-crash(early)");
+    }
+
+    rr = rec->run();
+    if (auto e = harvestOracle(*rec, "recovery", checks); !e.empty())
+        return e;
+    if (!rr.completed)
+        return "recovery did not complete";
+    return diffAppState(*rec, golden, bc,
+                        pt.mode == CrashMode::DoubleDrain
+                            ? "drain-interrupted"
+                            : "recovered");
+}
+
+/**
+ * Mine adversarial crash cycles from the golden run's oracle event
+ * timeline: spread samples over boundary broadcasts, WPQ drain steps
+ * and commit advances (with jitter, so failures land on message edges,
+ * not just on them), plus the endpoints and random filler up to
+ * @p want points.
+ */
+std::vector<Tick>
+minePoints(const core::System &golden, Tick cycles, unsigned want,
+           Rng &rng)
+{
+    std::vector<Tick> pts;
+    auto sample = [&](const std::vector<Tick> &v, unsigned k) {
+        for (unsigned i = 0; i < k && !v.empty(); ++i) {
+            Tick t = v[(v.size() * i) / k];
+            std::uint64_t jitter = rng.below(5); // t-2 .. t+2
+            t = (t + jitter >= 2) ? t + jitter - 2 : 0;
+            pts.push_back(t);
+        }
+    };
+    if (const auto *o = golden.oracle()) {
+        unsigned per = want / 3 + 1;
+        sample(o->boundaryTicks(), per);
+        sample(o->flushTicks(), per);
+        sample(o->commitTicks(), per);
+    }
+    pts.push_back(0);
+    if (cycles > 32)
+        pts.push_back(cycles - cycles / 32); // just before the finish
+    while (pts.size() < want)
+        pts.push_back(rng.below(std::max<Tick>(cycles, 1)));
+
+    for (auto &t : pts)
+        t = std::min(t, cycles > 0 ? cycles - 1 : 0);
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+    return pts;
+}
+
+/**
+ * Minimize a failing point: climb the program-shrink ladder (rescaling
+ * the crash cycle by the golden-duration ratio), then take the smallest
+ * failing crash cycle from a halving ladder. Every probe re-runs the
+ * full victim/recovery check, so the returned spec is failing by
+ * construction; if nothing smaller fails, the original is returned.
+ */
+CaseSpec
+shrinkFailure(CaseSpec failing, Tick golden_cycles,
+              std::uint64_t &checks, unsigned &runs, bool &shrunk)
+{
+    shrunk = false;
+
+    // Phase 1: smaller program at the same relative position.
+    for (unsigned level = failing.shrink + 1; level <= maxShrinkLevel;
+         ++level) {
+        CaseSpec cand = failing;
+        cand.shrink = level;
+        CaseBuild bc = buildCase(cand, true);
+        Golden g = runGolden(bc, checks, runs);
+        if (!g.error.empty())
+            break;
+        Tick scaled = golden_cycles
+                          ? (failing.crashAt * g.cycles) / golden_cycles
+                          : failing.crashAt;
+        bool found = false;
+        for (Tick t : {scaled, scaled / 2, scaled + scaled / 2}) {
+            CaseSpec probe = cand;
+            probe.crashAt = std::min(t, g.cycles ? g.cycles - 1 : 0);
+            if (probe.mode == CrashMode::DoubleRecovery)
+                probe.crashAt2 = probe.crashAt;
+            if (!checkPoint(bc, *g.sys, probe, checks, runs).empty()) {
+                failing = probe;
+                golden_cycles = g.cycles;
+                found = true;
+                shrunk = true;
+                break;
+            }
+        }
+        if (!found)
+            break;
+    }
+
+    // Phase 2: earliest failing crash cycle on a halving ladder.
+    {
+        CaseBuild bc = buildCase(failing, true);
+        Golden g = runGolden(bc, checks, runs);
+        if (g.error.empty()) {
+            std::vector<Tick> ladder = {0, 1};
+            for (Tick t = failing.crashAt / 16; t < failing.crashAt;
+                 t *= 2) {
+                if (t > 1)
+                    ladder.push_back(t);
+                if (t == 0)
+                    break;
+            }
+            for (Tick t : ladder) {
+                if (t >= failing.crashAt)
+                    continue;
+                CaseSpec probe = failing;
+                probe.crashAt = t;
+                if (probe.mode == CrashMode::DoubleRecovery)
+                    probe.crashAt2 = t;
+                if (!checkPoint(bc, *g.sys, probe, checks, runs)
+                         .empty()) {
+                    failing = probe;
+                    shrunk = true;
+                    break;
+                }
+            }
+        }
+    }
+    return failing;
+}
+
+} // namespace
+
+// ---- Campaign driver -------------------------------------------------------
+
+CampaignResult
+runCampaign(const CaseSpec &spec, const CampaignOptions &opt)
+{
+    CampaignResult res;
+
+    CaseBuild bc = buildCase(spec, opt.oracles);
+    Golden g = runGolden(bc, res.oracleChecks, res.runsExecuted);
+    res.goldenCycles = g.cycles;
+    if (!g.error.empty()) {
+        res.passed = false;
+        res.failure = g.error + " [" + bc.summary + "]";
+        res.reproducer = spec;
+        return res;
+    }
+
+    // Replay path: one exact injection.
+    if (spec.mode != CrashMode::None) {
+        ++res.pointsTried;
+        std::string err =
+            checkPoint(bc, *g.sys, spec, res.oracleChecks,
+                       res.runsExecuted);
+        if (!err.empty()) {
+            res.passed = false;
+            res.failure = err + " [" + bc.summary + "]";
+            res.reproducer = spec;
+        }
+        return res;
+    }
+
+    // Full campaign: mined single crashes, then double variants.
+    Rng rng(spec.seed ^ 0x706f696e7473ull); // "points"
+    std::vector<Tick> pts =
+        minePoints(*g.sys, g.cycles, opt.minCrashPoints, rng);
+
+    std::vector<CaseSpec> injections;
+    for (Tick t : pts) {
+        CaseSpec pt = spec;
+        pt.mode = CrashMode::Single;
+        pt.crashAt = t;
+        injections.push_back(pt);
+    }
+    if (opt.doubleCrash) {
+        for (std::size_t i = 0; i < pts.size(); i += 3) {
+            CaseSpec pt = spec;
+            pt.mode = CrashMode::DoubleRecovery;
+            pt.crashAt = pts[i];
+            pt.crashAt2 =
+                pts[(i + pts.size() / 2) % pts.size()];
+            injections.push_back(pt);
+        }
+        for (std::size_t i = 1; i < pts.size(); i += 4) {
+            CaseSpec pt = spec;
+            pt.mode = CrashMode::DoubleDrain;
+            pt.crashAt = pts[i];
+            pt.drainIters = static_cast<unsigned>(rng.below(3));
+            injections.push_back(pt);
+        }
+    }
+
+    for (const CaseSpec &pt : injections) {
+        ++res.pointsTried;
+        std::string err = checkPoint(bc, *g.sys, pt, res.oracleChecks,
+                                     res.runsExecuted);
+        if (err.empty())
+            continue;
+        res.passed = false;
+        res.failure = err + " [" + bc.summary + "]";
+        res.reproducer = pt;
+        if (opt.shrinkOnFailure) {
+            res.reproducer =
+                shrinkFailure(pt, g.cycles, res.oracleChecks,
+                              res.runsExecuted, res.shrunk);
+        }
+        return res;
+    }
+    return res;
+}
+
+} // namespace fuzz
+} // namespace lwsp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Crash-consistency fuzzing campaigns.
+ *
+ * One campaign = one seeded random program (workload- or IR-sourced) run
+ * crash-free once (the golden run, with the LRPO invariant oracle live),
+ * then power-failed at a set of adversarially mined cycles — region-
+ * boundary broadcast edges, WPQ drain steps and commit advances observed
+ * by the oracle, plus jitter, endpoints and random filler — in single-
+ * and double-failure variants. Every recovered execution must finish and
+ * reproduce the golden application state exactly, and no run may trip an
+ * invariant oracle. On failure the engine shrinks the (program,
+ * crash-cycle) pair — first climbing the program-shrink ladder, then
+ * minimizing the crash cycle — and reports a one-line seed-spec string
+ * that `fuzz_crash --replay` turns back into the exact failing run.
+ */
+
+#ifndef LWSP_FUZZ_CAMPAIGN_HH
+#define LWSP_FUZZ_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace lwsp {
+namespace fuzz {
+
+/** How power failure is injected when replaying a single point. */
+enum class CrashMode : std::uint8_t
+{
+    None,           ///< full campaign: mine points, try them all
+    Single,         ///< one failure at crashAt
+    DoubleRecovery, ///< failure at crashAt, second during the recovery run
+    DoubleDrain,    ///< failure at crashAt, second mid-§IV-F drain
+};
+
+/**
+ * A fully reproducible case: the seed regenerates the program and system
+ * configuration, the shrink level sizes the program, and the crash
+ * fields (when mode != None) pin one exact injection. Round-trips
+ * through the `lwsp-fuzz:v1:...` spec string.
+ */
+struct CaseSpec
+{
+    enum class Source : std::uint8_t { Workload, Ir };
+
+    Source source = Source::Workload;
+    std::uint64_t seed = 1;
+    unsigned shrink = 0;
+
+    CrashMode mode = CrashMode::None;
+    Tick crashAt = 0;
+    Tick crashAt2 = 0;        ///< DoubleRecovery second failure cycle
+    unsigned drainIters = 0;  ///< DoubleDrain: quiescence iters completed
+    /** Enable the MC's test-only early-release fault on victim runs. */
+    bool fault = false;
+
+    std::string toString() const;
+    /** Parse a spec string; on failure @p err explains why. */
+    static bool parse(const std::string &s, CaseSpec &out,
+                      std::string &err);
+};
+
+struct CampaignOptions
+{
+    /** Minimum injected crash points per campaign (mode == None). */
+    unsigned minCrashPoints = 8;
+    /** Also inject double failures (recovery-run and mid-drain). */
+    bool doubleCrash = true;
+    /** Run every system with the LRPO invariant oracle compiled in. */
+    bool oracles = true;
+    /** Shrink a failing case before reporting it. */
+    bool shrinkOnFailure = true;
+};
+
+struct CampaignResult
+{
+    bool passed = true;
+    std::string failure;     ///< first failure description (when !passed)
+    CaseSpec reproducer;     ///< minimal failing point (when !passed)
+    bool shrunk = false;     ///< reproducer is smaller than the original
+    unsigned pointsTried = 0;
+    unsigned runsExecuted = 0;
+    std::uint64_t oracleChecks = 0;
+    Tick goldenCycles = 0;
+};
+
+/**
+ * Run the campaign described by @p spec. With spec.mode == None this is
+ * a full mine-and-sweep campaign; with a concrete mode it replays that
+ * single injection (the `--replay` path).
+ */
+CampaignResult runCampaign(const CaseSpec &spec,
+                           const CampaignOptions &opt = {});
+
+} // namespace fuzz
+} // namespace lwsp
+
+#endif // LWSP_FUZZ_CAMPAIGN_HH

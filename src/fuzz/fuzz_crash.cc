@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Crash-consistency fuzzing driver.
+ *
+ *   fuzz_crash [--seeds N] [--base-seed S] [--mode wl|ir|mixed]
+ *              [--crash-points N] [--jobs N] [--no-double] [--no-shrink]
+ *              [--fault] [--replay SPEC]
+ *
+ * Default: run N seeded campaigns (half workload-sourced, half
+ * IR-sourced with --mode mixed), each injecting single and double power
+ * failures at adversarially mined cycles, differentially checking every
+ * recovery against a crash-free golden run with the LRPO invariant
+ * oracles live. On any failure the case is shrunk and its replay spec
+ * printed as `REPRODUCER: lwsp-fuzz:v1:...`; rerun exactly that case
+ * with `fuzz_crash --replay '<spec>'`. Exit status 0 = all passed.
+ *
+ * --fault arms the MC's test-only early-release fault on victim runs so
+ * the oracle/shrink/replay machinery can be demonstrated on a known bug.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "fuzz/campaign.hh"
+#include "harness/sweep.hh"
+
+using namespace lwsp;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seeds N] [--base-seed S] [--mode wl|ir|mixed]\n"
+        "          [--crash-points N] [--jobs N] [--no-double]\n"
+        "          [--no-shrink] [--fault] [--replay SPEC]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned seeds = 25;
+    std::uint64_t base_seed = 1;
+    std::string mode = "mixed";
+    unsigned jobs = 0;
+    std::string replay_spec;
+    fuzz::CampaignOptions opt;
+    bool fault = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *name) {
+            if (std::strcmp(argv[i], name) != 0)
+                return static_cast<const char *>(nullptr);
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", name);
+                std::exit(2);
+            }
+            return static_cast<const char *>(argv[++i]);
+        };
+        if (const char *v = arg("--seeds")) {
+            seeds = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (const char *v = arg("--base-seed")) {
+            base_seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--mode")) {
+            mode = v;
+        } else if (const char *v = arg("--crash-points")) {
+            opt.minCrashPoints =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (const char *v = arg("--jobs")) {
+            jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (const char *v = arg("--replay")) {
+            replay_spec = v;
+        } else if (std::strcmp(argv[i], "--no-double") == 0) {
+            opt.doubleCrash = false;
+        } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+            opt.shrinkOnFailure = false;
+        } else if (std::strcmp(argv[i], "--fault") == 0) {
+            fault = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (mode != "wl" && mode != "ir" && mode != "mixed")
+        return usage(argv[0]);
+
+    setLogQuiet(true);
+    auto t0 = std::chrono::steady_clock::now();
+
+    if (!replay_spec.empty()) {
+        fuzz::CaseSpec spec;
+        std::string err;
+        if (!fuzz::CaseSpec::parse(replay_spec, spec, err)) {
+            std::fprintf(stderr, "bad replay spec: %s\n", err.c_str());
+            return 2;
+        }
+        auto res = fuzz::runCampaign(spec, opt);
+        std::printf("replay %s: %s (%u runs, %llu oracle checks)\n",
+                    replay_spec.c_str(),
+                    res.passed ? "PASSED" : "FAILED",
+                    res.runsExecuted,
+                    static_cast<unsigned long long>(res.oracleChecks));
+        if (!res.passed) {
+            std::printf("  %s\n", res.failure.c_str());
+            std::printf("REPRODUCER: %s\n",
+                        res.reproducer.toString().c_str());
+        }
+        return res.passed ? 0 : 1;
+    }
+
+    std::vector<fuzz::CampaignResult> results(seeds);
+    std::vector<fuzz::CaseSpec> specs(seeds);
+    for (unsigned i = 0; i < seeds; ++i) {
+        fuzz::CaseSpec spec;
+        spec.seed = base_seed + i;
+        spec.fault = fault;
+        bool use_ir = (mode == "ir") || (mode == "mixed" && i % 2 == 1);
+        spec.source = use_ir ? fuzz::CaseSpec::Source::Ir
+                             : fuzz::CaseSpec::Source::Workload;
+        specs[i] = spec;
+    }
+
+    // Campaigns are independent: fan them out across worker threads
+    // (each campaign's internal runs stay serial for determinism).
+    harness::parallelFor(jobs, seeds, [&](std::size_t i) {
+        results[i] = fuzz::runCampaign(specs[i], opt);
+    });
+
+    unsigned failed = 0, points = 0, runs = 0;
+    std::uint64_t checks = 0;
+    for (unsigned i = 0; i < seeds; ++i) {
+        const auto &r = results[i];
+        points += r.pointsTried;
+        runs += r.runsExecuted;
+        checks += r.oracleChecks;
+        if (r.passed)
+            continue;
+        ++failed;
+        std::printf("FAIL %s\n  %s\n",
+                    specs[i].toString().c_str(), r.failure.c_str());
+        std::printf("REPRODUCER: %s%s\n",
+                    r.reproducer.toString().c_str(),
+                    r.shrunk ? "  (shrunk)" : "");
+    }
+
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    std::printf("fuzz_crash: %u campaigns, %u crash points, %u runs, "
+                "%llu oracle checks, %u failures, %.1fs\n",
+                seeds, points, runs,
+                static_cast<unsigned long long>(checks), failed, secs);
+    return failed ? 1 : 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Common shape of a fuzzer-generated test program: a LightIR module plus
+ * the execution parameters the campaign engine needs to run it and
+ * differentially compare its application-visible state.
+ */
+
+#ifndef LWSP_FUZZ_PROGRAM_SOURCE_HH
+#define LWSP_FUZZ_PROGRAM_SOURCE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "ir/program.hh"
+
+namespace lwsp {
+namespace fuzz {
+
+struct FuzzProgram
+{
+    std::unique_ptr<ir::Module> module;
+    unsigned threads = 1;
+    /** Per-thread partition size (power of two; differential range). */
+    std::size_t footprintBytes = 8 * 1024;
+    /** Persisted lock words for post-crash lock reconstruction. */
+    std::vector<Addr> lockAddrs;
+    /** One-line description for failure reports. */
+    std::string summary;
+};
+
+} // namespace fuzz
+} // namespace lwsp
+
+#endif // LWSP_FUZZ_PROGRAM_SOURCE_HH

@@ -1,0 +1,277 @@
+#include "fuzz/random_program.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/random.hh"
+#include "fuzz/random_workload.hh" // maxShrinkLevel
+#include "ir/verifier.hh"
+#include "workloads/generator.hh"  // Workload::heapBase / sharedBase
+
+namespace lwsp {
+namespace fuzz {
+
+using namespace ir;
+
+namespace {
+
+/*
+ * Register convention for random programs:
+ *   r0  thread id (read-only)      r6      effective address scratch
+ *   r1  partition base (r-o)       r7-r12  random-op pool
+ *   r2  shared base (r-o)          r13     atomic operand scratch
+ *   r3  partition mask (r-o)       r14     unused
+ *   r4  loop counter (reserved)    r15     reserved (stack pointer)
+ *   r5  loop bound (reserved)
+ * The pool is the only set random ops may write; counters, bases and
+ * masks stay out of reach so address legality and loop termination hold
+ * for every draw.
+ */
+constexpr Reg rTid = 0, rBase = 1, rShared = 2, rMask = 3, rCtr = 4,
+              rBound = 5, rAddr = 6, rPool0 = 7, rAtom = 13;
+constexpr unsigned poolSize = 6;
+
+struct Gen
+{
+    Rng rng;
+    unsigned threads;
+    bool allowAtomics;
+
+    explicit Gen(std::uint64_t seed, unsigned n_threads)
+        : rng(seed ^ 0x726e642d6972ull /* "rnd-ir" */), threads(n_threads),
+          allowAtomics(n_threads > 1)
+    {
+    }
+
+    Reg pool() { return static_cast<Reg>(rPool0 + rng.below(poolSize)); }
+
+    /** Compute a private-partition address from @p src into rAddr. */
+    void
+    emitAddress(BasicBlock &b, Reg src)
+    {
+        b.append(Instruction::alu(Opcode::And, rAddr, src, rMask));
+        b.append(Instruction::alu(Opcode::Add, rAddr, rAddr, rBase));
+    }
+
+    /** One random non-terminator operation appended to @p b. */
+    void
+    emitOp(BasicBlock &b)
+    {
+        switch (rng.below(10)) {
+          case 0:
+          case 1: { // ALU reg-reg
+            static const Opcode ops[] = {Opcode::Add, Opcode::Sub,
+                                         Opcode::Mul, Opcode::And,
+                                         Opcode::Or,  Opcode::Xor,
+                                         Opcode::Shl, Opcode::Shr};
+            b.append(Instruction::alu(ops[rng.below(8)], pool(), pool(),
+                                      pool()));
+            break;
+          }
+          case 2: // ALU reg-imm
+            b.append(Instruction::aluImm(
+                rng.chance(0.5) ? Opcode::AddI : Opcode::MulI, pool(),
+                pool(),
+                static_cast<std::int64_t>(rng.range(1, 1024))));
+            break;
+          case 3: // constant refresh
+            b.append(Instruction::movi(
+                pool(), static_cast<std::int64_t>(rng.below(1u << 20))));
+            break;
+          case 4:
+          case 5: { // private load
+            emitAddress(b, pool());
+            b.append(Instruction::load(pool(), rAddr, 0));
+            break;
+          }
+          case 6:
+          case 7:
+          case 8: { // private store
+            emitAddress(b, pool());
+            b.append(Instruction::store(rAddr, 0, pool()));
+            break;
+          }
+          default:
+            if (allowAtomics && rng.chance(0.5)) {
+                // Commutative shared update: mem[shared + 8k] += pool.
+                // The added value derives only from this thread's own
+                // state, so the final sums are interleaving-independent.
+                b.append(Instruction::alu(Opcode::Mov, rAtom, pool(),
+                                          0));
+                b.append(Instruction::atomicAdd(
+                    rShared,
+                    8 * static_cast<std::int64_t>(rng.below(8)), rAtom));
+            } else {
+                b.append(Instruction::simple(Opcode::Fence));
+            }
+            break;
+        }
+    }
+
+    void
+    emitOps(BasicBlock &b, unsigned lo, unsigned hi)
+    {
+        unsigned n = static_cast<unsigned>(rng.range(lo, hi));
+        for (unsigned i = 0; i < n; ++i)
+            emitOp(b);
+    }
+
+    /**
+     * Append one structured segment to @p fn, starting in @p cur.
+     * @return the block subsequent code should continue in.
+     */
+    BlockId
+    emitSegment(Function &fn, BlockId cur, unsigned trip_scale)
+    {
+        switch (rng.below(4)) {
+          case 0: { // straight-line run
+            emitOps(fn.block(cur), 3, 10);
+            return cur;
+          }
+          case 1: { // single-block self-loop with a recorded trip count
+            std::uint64_t trip = rng.range(4, 16) >> trip_scale;
+            trip = std::max<std::uint64_t>(trip, 2);
+            BasicBlock &body = fn.addBlock();
+            BasicBlock &next = fn.addBlock();
+            BasicBlock &pre = fn.block(cur);
+            pre.append(Instruction::movi(rCtr, 0));
+            pre.append(Instruction::movi(
+                rBound, static_cast<std::int64_t>(trip)));
+            pre.append(Instruction::jmp(body.id()));
+            emitOps(body, 2, 6);
+            body.append(Instruction::aluImm(Opcode::AddI, rCtr, rCtr, 1));
+            body.append(Instruction::branch(Opcode::Blt, rCtr, rBound,
+                                            body.id(), next.id()));
+            fn.loopTripCounts()[body.id()] = trip;
+            return next.id();
+          }
+          case 2: { // multi-block natural loop (header + body blocks)
+            std::uint64_t trip = rng.range(2, 8) >> trip_scale;
+            trip = std::max<std::uint64_t>(trip, 2);
+            BasicBlock &head = fn.addBlock();
+            BasicBlock &body = fn.addBlock();
+            BasicBlock &latch = fn.addBlock();
+            BasicBlock &next = fn.addBlock();
+            BasicBlock &pre = fn.block(cur);
+            pre.append(Instruction::movi(rCtr, 0));
+            pre.append(Instruction::movi(
+                rBound, static_cast<std::int64_t>(trip)));
+            pre.append(Instruction::jmp(head.id()));
+            head.append(Instruction::branch(Opcode::Blt, rCtr, rBound,
+                                            body.id(), next.id()));
+            emitOps(body, 2, 6);
+            body.append(Instruction::jmp(latch.id()));
+            emitOps(latch, 0, 3);
+            latch.append(Instruction::aluImm(Opcode::AddI, rCtr, rCtr,
+                                             1));
+            latch.append(Instruction::jmp(head.id()));
+            return next.id();
+          }
+          default: { // if/else diamond joining forward
+            BasicBlock &then_b = fn.addBlock();
+            BasicBlock &else_b = fn.addBlock();
+            BasicBlock &join = fn.addBlock();
+            static const Opcode cmps[] = {Opcode::Beq, Opcode::Bne,
+                                          Opcode::Blt, Opcode::Bge};
+            fn.block(cur).append(
+                Instruction::branch(cmps[rng.below(4)], pool(), pool(),
+                                    then_b.id(), else_b.id()));
+            emitOps(then_b, 1, 5);
+            then_b.append(Instruction::jmp(join.id()));
+            emitOps(else_b, 1, 5);
+            else_b.append(Instruction::jmp(join.id()));
+            return join.id();
+          }
+        }
+    }
+};
+
+} // namespace
+
+FuzzProgram
+randomIrProgram(std::uint64_t seed, unsigned shrink)
+{
+    shrink = std::min(shrink, maxShrinkLevel);
+
+    // Draw the execution parameters first so they are stable across
+    // shrink levels where possible (threads shrink, seeds don't).
+    Rng param_rng(seed ^ 0x69722d706172616dull); // "ir-param"
+    static const unsigned threadChoices[] = {1, 2, 2, 4};
+    unsigned threads = threadChoices[param_rng.below(4)];
+    if (shrink >= 1)
+        threads = std::min(threads, 2u);
+    if (shrink >= 2)
+        threads = 1;
+    std::size_t footprint = 8 * 1024;
+
+    Gen g(seed, threads);
+    FuzzProgram out;
+    out.module = std::make_unique<Module>();
+    Module &m = *out.module;
+
+    Function &main = m.addFunction("main");
+    BasicBlock &entry = main.addBlock();
+
+    // r1 = heapBase + tid * footprint; r3 = 8-aligned in-partition mask.
+    entry.append(Instruction::aluImm(
+        Opcode::MulI, rBase, rTid,
+        static_cast<std::int64_t>(footprint)));
+    entry.append(Instruction::aluImm(
+        Opcode::AddI, rBase, rBase,
+        static_cast<std::int64_t>(workloads::Workload::heapBase)));
+    entry.append(Instruction::movi(
+        rShared,
+        static_cast<std::int64_t>(workloads::Workload::sharedBase)));
+    entry.append(Instruction::movi(
+        rMask, static_cast<std::int64_t>((footprint - 1) & ~7ull)));
+    // Pool seeds diverge per thread so partitions hold distinct values.
+    for (unsigned i = 0; i < poolSize; ++i) {
+        Reg r = static_cast<Reg>(rPool0 + i);
+        entry.append(Instruction::movi(
+            r, static_cast<std::int64_t>(g.rng.below(1u << 16))));
+        if (i % 2 == 0)
+            entry.append(Instruction::alu(Opcode::Add, r, r, rTid));
+    }
+
+    // Callee functions: their own structured bodies, ending in Ret.
+    unsigned callees = shrink ? 1 : 1 + static_cast<unsigned>(
+                                        g.rng.below(2));
+    std::vector<FuncId> fns;
+    for (unsigned f = 0; f < callees; ++f) {
+        Function &fn = m.addFunction("f" + std::to_string(f));
+        BlockId cur = fn.addBlock().id();
+        unsigned segs = 1 + static_cast<unsigned>(g.rng.below(3));
+        if (shrink)
+            segs = 1;
+        for (unsigned s = 0; s < segs; ++s)
+            cur = g.emitSegment(fn, cur, shrink);
+        fn.block(cur).append(Instruction::simple(Opcode::Ret));
+        fns.push_back(fn.id());
+    }
+
+    // Main body: segments interleaved with calls (calls stay outside
+    // loops, so the reserved counter registers are never live across
+    // them).
+    BlockId cur = entry.id();
+    unsigned segs = shrink ? 2 : 2 + static_cast<unsigned>(g.rng.below(3));
+    for (unsigned s = 0; s < segs; ++s) {
+        cur = g.emitSegment(main, cur, shrink);
+        if (g.rng.chance(0.6))
+            main.block(cur).append(
+                Instruction::call(fns[g.rng.below(fns.size())]));
+    }
+    main.block(cur).append(Instruction::simple(Opcode::Halt));
+
+    verifyModuleOrDie(m);
+
+    out.threads = threads;
+    out.footprintBytes = footprint;
+    out.summary = "fuzz-ir-" + std::to_string(seed) +
+                  (shrink ? "-s" + std::to_string(shrink) : "") +
+                  " threads=" + std::to_string(threads) + " blocks=" +
+                  std::to_string(m.function(0).numBlocks());
+    return out;
+}
+
+} // namespace fuzz
+} // namespace lwsp

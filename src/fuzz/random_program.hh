@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Seeded random LightIR generation for crash-consistency fuzzing.
+ *
+ * Unlike the workload path (fixed kernel shapes with random knobs), this
+ * generator draws whole control-flow graphs — straight-line runs,
+ * single-block self-loops with recorded trip counts (exercising the
+ * unrolling pass), multi-block natural loops, if/else diamonds, calls,
+ * fences and atomics — and pushes them through the complete compiler
+ * pipeline: boundary insertion at loop headers / callsites / sync ops,
+ * store-threshold enforcement, region combining, checkpoint insertion
+ * and pruning. Crash-recovering such a program end to end checks the
+ * whole compiler/architecture contract, not just the hand-written
+ * workload shapes.
+ *
+ * Programs are confluent by construction: every load and store is masked
+ * into the thread's private partition, cross-thread effects are limited
+ * to commutative AtomicAdds on shared cells, and each thread's operand
+ * stream is independent of interleaving (no loads from shared memory).
+ * Loops use reserved counter registers the random-op pool can never
+ * clobber, so termination is guaranteed. All generated CFGs are
+ * structured, hence reducible — a requirement of the store-counting
+ * dataflow in the threshold pass.
+ */
+
+#ifndef LWSP_FUZZ_RANDOM_PROGRAM_HH
+#define LWSP_FUZZ_RANDOM_PROGRAM_HH
+
+#include <cstdint>
+
+#include "fuzz/program_source.hh"
+
+namespace lwsp {
+namespace fuzz {
+
+/** Generate a verified random module for (@p seed, @p shrink). */
+FuzzProgram randomIrProgram(std::uint64_t seed, unsigned shrink);
+
+} // namespace fuzz
+} // namespace lwsp
+
+#endif // LWSP_FUZZ_RANDOM_PROGRAM_HH

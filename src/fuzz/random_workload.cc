@@ -1,0 +1,87 @@
+#include "fuzz/random_workload.hh"
+
+#include <algorithm>
+
+#include "common/random.hh"
+#include "workloads/generator.hh"
+
+namespace lwsp {
+namespace fuzz {
+
+workloads::WorkloadProfile
+randomProfile(std::uint64_t seed, unsigned shrink)
+{
+    // Domain-separate from other consumers of the same seed (the random
+    // IR generator and the campaign's crash-point jitter).
+    Rng rng(seed ^ 0x776f726b6c6f6164ull); // "workload"
+    shrink = std::min(shrink, maxShrinkLevel);
+
+    workloads::WorkloadProfile p;
+    p.name = "fuzz-wl-" + std::to_string(seed) +
+             (shrink ? "-s" + std::to_string(shrink) : "");
+    p.suite = "FUZZ";
+
+    static const unsigned threadChoices[] = {1, 2, 2, 4};
+    p.threads = threadChoices[rng.below(4)];
+    if (shrink >= 1)
+        p.threads = std::min(p.threads, 2u);
+    if (shrink >= 2)
+        p.threads = 1;
+
+    // Small footprints keep golden runs cheap while still spanning the
+    // hot/cold locality split.
+    p.footprintBytes = std::size_t(8 * 1024)
+                       << (shrink ? 0 : rng.below(3)); // 8/16/32 KB
+    p.hotBytes = p.footprintBytes / 4;
+    p.locality = 0.5 + 0.4 * rng.uniform();
+    p.branchMissRate = 0.0;
+
+    unsigned phases = shrink ? 1 : 1 + static_cast<unsigned>(rng.below(3));
+    for (unsigned i = 0; i < phases; ++i) {
+        workloads::PhaseSpec ph;
+        switch (rng.below(3)) {
+          case 0: ph.pattern = workloads::PhaseSpec::Pattern::Sequential;
+                  break;
+          case 1: ph.pattern = workloads::PhaseSpec::Pattern::Random;
+                  break;
+          default: ph.pattern = workloads::PhaseSpec::Pattern::Pointer;
+                   break;
+        }
+        ph.loads = 1 + static_cast<unsigned>(rng.below(3));
+        ph.stores = 1 + static_cast<unsigned>(rng.below(3));
+        ph.alus = static_cast<unsigned>(rng.below(6));
+        ph.trip = 16 + static_cast<unsigned>(rng.below(33)); // 16..48
+        ph.trip = std::max(8u, ph.trip >> shrink);
+        ph.reps = 1 + static_cast<unsigned>(rng.below(2));
+        if (p.threads > 1) {
+            ph.lockedRmw = rng.chance(0.4);
+            ph.atomicUpdate = !ph.lockedRmw && rng.chance(0.4);
+        }
+        static const unsigned syncChoices[] = {4, 8, 16};
+        ph.syncEvery = syncChoices[rng.below(3)];
+        ph.csCells = 2 + static_cast<unsigned>(rng.below(5));
+        ph.seqStrideBytes = rng.chance(0.5) ? 64 : 8;
+        p.phases.push_back(ph);
+    }
+    return p;
+}
+
+FuzzProgram
+randomWorkloadProgram(std::uint64_t seed, unsigned shrink)
+{
+    workloads::WorkloadProfile profile = randomProfile(seed, shrink);
+    workloads::Workload w = workloads::generate(profile);
+
+    FuzzProgram out;
+    out.module = std::move(w.module);
+    out.threads = profile.threads;
+    out.footprintBytes = profile.footprintBytes;
+    out.lockAddrs = w.lockAddrs;
+    out.summary = profile.name + " threads=" +
+                  std::to_string(profile.threads) + " phases=" +
+                  std::to_string(profile.phases.size());
+    return out;
+}
+
+} // namespace fuzz
+} // namespace lwsp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Seeded random workload generation for crash-consistency fuzzing.
+ *
+ * Draws a WorkloadProfile — thread count, footprint, locality, and a mix
+ * of 1-3 phases with random access patterns, store densities, lock-
+ * protected critical sections and atomic updates — and lowers it through
+ * the regular workload generator, so every program is confluent by
+ * construction (final memory state independent of interleaving). The
+ * shrink level trades coverage for size: each level halves trip counts
+ * and drops threads/phases, giving the campaign engine a ladder for
+ * minimizing a failing case.
+ */
+
+#ifndef LWSP_FUZZ_RANDOM_WORKLOAD_HH
+#define LWSP_FUZZ_RANDOM_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "fuzz/program_source.hh"
+#include "workloads/profile.hh"
+
+namespace lwsp {
+namespace fuzz {
+
+/** Highest meaningful shrink level (beyond it programs stop shrinking). */
+constexpr unsigned maxShrinkLevel = 2;
+
+/** Draw the profile for (@p seed, @p shrink). Deterministic. */
+workloads::WorkloadProfile randomProfile(std::uint64_t seed,
+                                         unsigned shrink);
+
+/** Generate the program for (@p seed, @p shrink). Deterministic. */
+FuzzProgram randomWorkloadProgram(std::uint64_t seed, unsigned shrink);
+
+} // namespace fuzz
+} // namespace lwsp
+
+#endif // LWSP_FUZZ_RANDOM_WORKLOAD_HH

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "mem/oracle.hh"
 #include "noc/noc.hh"
 
 namespace lwsp {
@@ -50,13 +51,16 @@ MemController::canAccept(const PersistEntry &e) const
 void
 MemController::accept(const PersistEntry &e, Tick now)
 {
-    (void)now;
     bool overflow = wpq_.full();
     LWSP_ASSERT(canAccept(e), "accept() without canAccept()");
     wpq_.push(e, overflow);
     if (overflow)
         ++overflowEvents_;
     maxWpqOccupancy_ = std::max(maxWpqOccupancy_, wpq_.size());
+    if (cfg_.oracle) {
+        cfg_.oracle->onAccept(id_, e, wpq_.size(), cfg_.wpqEntries,
+                              fallbackActive_, now);
+    }
 }
 
 void
@@ -77,6 +81,8 @@ MemController::receive(const McMsg &msg, Tick now)
 {
     switch (msg.type) {
       case McMsg::Type::BdryArrival: {
+        if (cfg_.oracle)
+            cfg_.oracle->onBdryArrival(id_, msg.region, now);
         RegionState &st = state(msg.region);
         st.bdryArrived = true;
         if (!st.bdryAckSent) {
@@ -90,17 +96,19 @@ MemController::receive(const McMsg &msg, Tick now)
         break;
       }
       case McMsg::Type::BdryAck:
+        if (cfg_.oracle)
+            cfg_.oracle->onBdryAck(id_, msg.region, msg.from);
         state(msg.region).bdryAcks |= (1u << msg.from);
         break;
       case McMsg::Type::FlushAck:
         state(msg.region).flushAcks |= (1u << msg.from);
-        maybeAdvanceFlushId();
+        maybeAdvanceFlushId(now);
         break;
     }
 }
 
 void
-MemController::maybeAdvanceFlushId()
+MemController::maybeAdvanceFlushId(Tick now)
 {
     while (true) {
         auto it = regions_.find(flushId_);
@@ -112,13 +120,25 @@ MemController::maybeAdvanceFlushId()
             break;
         }
         regions_.erase(it);
+        if (cfg_.oracle)
+            cfg_.oracle->onCommit(id_, flushId_, now);
         ++flushId_;
         ++regionsCommitted_;
     }
 }
 
 void
-MemController::flushEntryToPm(const PersistEntry &e, bool fallback)
+MemController::traceEvent(int kind, Addr addr, std::uint64_t value,
+                          RegionId region, Tick now)
+{
+    if (traceHook_)
+        traceHook_(kind, addr, value, region);
+    if (cfg_.oracle)
+        cfg_.oracle->onFlush(id_, kind, addr, value, region, now);
+}
+
+void
+MemController::flushEntryToPm(const PersistEntry &e, bool fallback, Tick now)
 {
     ++flushedEntries_;
 
@@ -133,11 +153,10 @@ MemController::flushEntryToPm(const PersistEntry &e, bool fallback)
             ++fallbackFlushes_;
         if (e.region >= sh.maxRegion) {
             sh.maxRegion = e.region;
-            if (traceHook_)
-                traceHook_(fallback ? 1 : 0, e.addr, e.value, e.region);
+            traceEvent(fallback ? 1 : 0, e.addr, e.value, e.region, now);
             pm_.write(e.addr, e.value);
-        } else if (traceHook_) {
-            traceHook_(2, e.addr, e.value, e.region);
+        } else {
+            traceEvent(2, e.addr, e.value, e.region, now);
         }
         return;
     }
@@ -152,8 +171,7 @@ MemController::flushEntryToPm(const PersistEntry &e, bool fallback)
         shadows_.emplace(e.addr, std::move(sh));
         ++fallbackFlushes_;
     }
-    if (traceHook_)
-        traceHook_(fallback ? 1 : 0, e.addr, e.value, e.region);
+    traceEvent(fallback ? 1 : 0, e.addr, e.value, e.region, now);
     pm_.write(e.addr, e.value);
 }
 
@@ -166,7 +184,7 @@ MemController::finishLocalFlush(RegionId r, Tick now)
     st.localFlushDone = true;
     st.flushAcks |= (1u << id_);
     sendToPeers(McMsg::Type::FlushAck, r, now);
-    maybeAdvanceFlushId();
+    maybeAdvanceFlushId(now);
 }
 
 void
@@ -176,10 +194,31 @@ MemController::tick(Tick now)
         // Plain FIFO persist buffer: drain the head at the PM write rate.
         if (now >= nextDrainTick_ && !wpq_.empty()) {
             for (unsigned b = 0; b < cfg_.drainBurst && !wpq_.empty(); ++b)
-                flushEntryToPm(*wpq_.popFront(), false);
+                flushEntryToPm(*wpq_.popFront(), false, now);
             nextDrainTick_ = now + cfg_.drainInterval;
         }
         return;
+    }
+
+    if (cfg_.oracle) {
+        cfg_.oracle->onWpqSample(id_, wpq_.size(), cfg_.wpqEntries,
+                                 fallbackActive_, now);
+    }
+
+    // Test-only fault injection: push one store of a region whose
+    // boundary has not reached us out to PM as if it were a normal
+    // in-order flush. A live oracle must flag this as an unclosed-region
+    // leak; nothing else in the protocol is perturbed afterwards.
+    if (cfg_.faultReleaseEarly && !faultFired_) {
+        RegionId victim = wpq_.minRegion();
+        auto vit = regions_.find(victim);
+        bool arrived = (vit != regions_.end() && vit->second.bdryArrived);
+        if (victim != invalidRegion && !arrived) {
+            if (auto e = wpq_.popRegion(victim)) {
+                faultFired_ = true;
+                flushEntryToPm(*e, false, now);
+            }
+        }
     }
 
     // Skip past ready regions with no local entries (no drain cost).
@@ -204,7 +243,7 @@ MemController::tick(Tick now)
         bool flushed = false;
         for (unsigned b = 0; b < cfg_.drainBurst; ++b) {
             if (auto e = wpq_.popRegion(r)) {
-                flushEntryToPm(*e, false);
+                flushEntryToPm(*e, false, now);
                 flushed = true;
             } else {
                 break;
@@ -233,7 +272,7 @@ MemController::tick(Tick now)
         RegionId victim = wpq_.hasRegion(r) ? r : wpq_.minRegion();
         if (victim != invalidRegion) {
             if (auto e = wpq_.popRegion(victim)) {
-                flushEntryToPm(*e, true);
+                flushEntryToPm(*e, true, now);
                 nextDrainTick_ = now + cfg_.drainInterval;
             }
         }
@@ -249,6 +288,8 @@ MemController::nextActiveTick(Tick now) const
             return maxTick;
         return std::max(now, nextDrainTick_);
     }
+    if (cfg_.faultReleaseEarly && !faultFired_ && !wpq_.empty())
+        return now;  // the injected early release happens in tick()
     if (ready(drainCursor_)) {
         // Entry drains are paced by the drain timer; cursor skips over
         // ready-but-entryless regions (and their flush-ACK exchange)
@@ -311,7 +352,7 @@ MemController::crashStep(Tick now)
     while (ready(drainCursor_)) {
         RegionId r = drainCursor_;
         while (auto e = wpq_.popRegion(r)) {
-            flushEntryToPm(*e, false);
+            flushEntryToPm(*e, false, now);
             progress = true;
         }
         if (!state(r).localFlushDone) {
@@ -342,7 +383,7 @@ MemController::pruneCommittedShadows()
 }
 
 void
-MemController::crashFinish()
+MemController::crashFinish(Tick now)
 {
     // Resolve every fallback-tainted address to the newest write of a
     // committed region — the crash drain advanced the cursor past the
@@ -359,12 +400,13 @@ MemController::crashFinish()
                 found = true;
             }
         }
-        if (traceHook_)
-            traceHook_(3, addr, value, best);
+        traceEvent(3, addr, value, best, now);
         pm_.write(addr, value);
     }
     shadows_.clear();
     wpq_.clear();
+    if (cfg_.oracle)
+        cfg_.oracle->onCrashFinish(id_, drainCursor_);
 }
 
 } // namespace mem

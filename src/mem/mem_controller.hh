@@ -35,6 +35,8 @@ class Noc;
 
 namespace mem {
 
+class LrpoOracle;
+
 struct McConfig
 {
     unsigned numMcs = 2;
@@ -65,6 +67,19 @@ struct McConfig
     bool strictFlushAcks = false;
     /** false = plain FIFO drain with no region gating (non-WSP schemes). */
     bool gatingEnabled = true;
+    /**
+     * When non-null, every protocol event (boundary arrival, ACK, WPQ
+     * insert, PM release, commit, crash drain) is reported to the LRPO
+     * invariant oracle. Null (the default) keeps the hooks zero-cost.
+     */
+    LrpoOracle *oracle = nullptr;
+    /**
+     * Test-only fault knob: release one store of a not-yet-closed region
+     * to PM ahead of its boundary, without undo logging. Exists solely to
+     * prove the oracle's ordering checkers are live — never enable
+     * outside oracle-liveness tests.
+     */
+    bool faultReleaseEarly = false;
 };
 
 class MemController : public Clocked, public McEndpoint
@@ -122,7 +137,7 @@ class MemController : public Clocked, public McEndpoint
     bool crashStep(Tick now);
 
     /** Step 6 + undo restore: discard unpersisted entries. */
-    void crashFinish();
+    void crashFinish(Tick now = 0);
 
     // ---- Introspection ---------------------------------------------------
     RegionId flushId() const { return flushId_; }
@@ -183,7 +198,7 @@ class MemController : public Clocked, public McEndpoint
     /** Mark region @p r locally flushed; exchange flush-ACKs; advance. */
     void finishLocalFlush(RegionId r, Tick now);
 
-    void maybeAdvanceFlushId();
+    void maybeAdvanceFlushId(Tick now);
 
     /**
      * Release one entry to PM. Fallback flushes are undo-logged; any
@@ -192,7 +207,11 @@ class MemController : public Clocked, public McEndpoint
      * touching PM, so region-ordered final values and crash restoration
      * both stay correct despite the out-of-order fallback.
      */
-    void flushEntryToPm(const PersistEntry &e, bool fallback);
+    void flushEntryToPm(const PersistEntry &e, bool fallback, Tick now);
+
+    /** Forward a PM-affecting event to the trace hook and the oracle. */
+    void traceEvent(int kind, Addr addr, std::uint64_t value,
+                    RegionId region, Tick now);
 
     /** De-taint addresses whose shadow writes are all committed. */
     void pruneCommittedShadows();
@@ -227,6 +246,7 @@ class MemController : public Clocked, public McEndpoint
     };
 
     bool fallbackActive_ = false;
+    bool faultFired_ = false;   ///< faultReleaseEarly one-shot latch
     std::map<Addr, Shadow> shadows_;
 
     FlushTraceHook traceHook_;

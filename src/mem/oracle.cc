@@ -1,0 +1,210 @@
+#include "mem/oracle.hh"
+
+#include <sstream>
+
+namespace lwsp {
+namespace mem {
+
+namespace {
+
+void
+recordTick(std::vector<Tick> &ticks, Tick now, std::size_t cap)
+{
+    if (ticks.size() < cap &&
+        (ticks.empty() || ticks.back() != now)) {
+        ticks.push_back(now);
+    }
+}
+
+} // namespace
+
+LrpoOracle::PerMc &
+LrpoOracle::mcState(McId mc)
+{
+    return mcs_[mc];
+}
+
+void
+LrpoOracle::violate(Tick now, const std::string &what)
+{
+    // Cap the list: a genuinely broken protocol would otherwise flag
+    // every subsequent flush and drown the first (root-cause) report.
+    if (violations_.size() >= 64)
+        return;
+    std::ostringstream os;
+    os << "[tick " << now << "] " << what;
+    violations_.push_back(os.str());
+}
+
+void
+LrpoOracle::onBdryArrival(McId mc, RegionId region, Tick now)
+{
+    auto &st = mcState(mc);
+    ++checksRun_;
+    if (!st.arrived.insert(region).second) {
+        std::ostringstream os;
+        os << "mc" << mc << ": duplicate boundary arrival for region "
+           << region;
+        violate(now, os.str());
+    }
+    recordTick(bdryTicks_, now, maxTicksRecorded);
+}
+
+void
+LrpoOracle::onBdryAck(McId mc, RegionId region, McId from)
+{
+    ++checksRun_;
+    auto &st = mcState(mc);
+    std::uint32_t bit = 1u << from;
+    if (from == mc || (st.acks[region] & bit)) {
+        std::ostringstream os;
+        os << "mc" << mc << ": unexpected bdry-ACK for region " << region
+           << " from mc" << from
+           << (from == mc ? " (self-ACK)" : " (duplicate)");
+        violate(0, os.str());
+    }
+    st.acks[region] |= bit;
+}
+
+void
+LrpoOracle::onAccept(McId mc, const PersistEntry &e, std::size_t occupancy,
+                     std::size_t capacity, bool fallback_active, Tick now)
+{
+    ++checksRun_;
+    if (occupancy > capacity && !(gated_ && fallback_active)) {
+        std::ostringstream os;
+        os << "mc" << mc << ": WPQ occupancy " << occupancy
+           << " exceeds capacity " << capacity
+           << " outside fallback (region " << e.region << ")";
+        violate(now, os.str());
+    }
+}
+
+void
+LrpoOracle::onWpqSample(McId mc, std::size_t occupancy, std::size_t capacity,
+                        bool fallback_active, Tick now)
+{
+    ++checksRun_;
+    if (occupancy > capacity && !(gated_ && fallback_active)) {
+        std::ostringstream os;
+        os << "mc" << mc << ": WPQ occupancy " << occupancy
+           << " exceeds capacity " << capacity << " outside fallback";
+        violate(now, os.str());
+    }
+}
+
+void
+LrpoOracle::onFlush(McId mc, int kind, Addr addr, std::uint64_t value,
+                    RegionId region, Tick now)
+{
+    (void)value;
+    ++checksRun_;
+    auto &st = mcState(mc);
+
+    switch (kind) {
+      case 0: { // Normal in-order flush: region must be globally closed.
+        if (gated_) {
+            if (!st.arrived.count(region)) {
+                std::ostringstream os;
+                os << "mc" << mc << ": store of region " << region
+                   << " (addr 0x" << std::hex << addr << std::dec
+                   << ") released to PM before its boundary arrived"
+                   << " — unclosed region leaked";
+                violate(now, os.str());
+            }
+            auto it = st.acks.find(region);
+            std::uint32_t have = (it == st.acks.end()) ? 0 : it->second;
+            std::uint32_t need = peerMask(mc);
+            if ((have & need) != need) {
+                std::ostringstream os;
+                os << "mc" << mc << ": store of region " << region
+                   << " released to PM with ack mask 0x" << std::hex
+                   << have << " != required 0x" << need << std::dec
+                   << " — region not closed on all MCs";
+                violate(now, os.str());
+            }
+            if (region < st.lastNormalFlush) {
+                std::ostringstream os;
+                os << "mc" << mc << ": normal flush of region " << region
+                   << " after region " << st.lastNormalFlush
+                   << " — boundary release order violated";
+                violate(now, os.str());
+            }
+            if (region > st.lastNormalFlush)
+                st.lastNormalFlush = region;
+        }
+        lastWriter_[addr] = {mc, region, kind};
+        break;
+      }
+      case 1: // §IV-D fallback flush: undo-logged, exempt from ordering.
+        if (!gated_) {
+            std::ostringstream os;
+            os << "mc" << mc << ": fallback flush of region " << region
+               << " in ungated mode";
+            violate(now, os.str());
+        }
+        lastWriter_[addr] = {mc, region, kind};
+        break;
+      case 2: // Absorbed into an undo pre-image: PM not touched.
+        break;
+      case 3: // Crash-drain undo restore: reverts to the pre-image, whose
+              // writer (if any) predates every uncommitted region.
+        lastWriter_.erase(addr);
+        break;
+      default: {
+        std::ostringstream os;
+        os << "mc" << mc << ": unknown flush kind " << kind;
+        violate(now, os.str());
+        break;
+      }
+    }
+    recordTick(flushTicks_, now, maxTicksRecorded);
+}
+
+void
+LrpoOracle::onCommit(McId mc, RegionId region, Tick now)
+{
+    ++checksRun_;
+    auto &st = mcState(mc);
+    if (st.lastCommit != 0 && region != st.lastCommit + 1) {
+        std::ostringstream os;
+        os << "mc" << mc << ": commit of region " << region
+           << " after region " << st.lastCommit
+           << " — commits must advance densely in id order";
+        violate(now, os.str());
+    }
+    if (gated_ && !st.arrived.count(region)) {
+        std::ostringstream os;
+        os << "mc" << mc << ": committed region " << region
+           << " whose boundary never arrived";
+        violate(now, os.str());
+    }
+    st.lastCommit = region;
+    recordTick(commitTicks_, now, maxTicksRecorded);
+}
+
+void
+LrpoOracle::onCrashFinish(McId mc, RegionId drain_cursor)
+{
+    // Invariant 4: every surviving PM word owned by this MC must have
+    // been written by a committed (id < drain_cursor) region. Fallback
+    // writes (kind 1) of uncommitted regions must have been reverted
+    // (kind 3) before this point, so any survivor is a violation too.
+    for (const auto &[addr, w] : lastWriter_) {
+        if (w.mc != mc)
+            continue;
+        ++checksRun_;
+        if (w.region >= drain_cursor) {
+            std::ostringstream os;
+            os << "mc" << mc << ": post-crash PM holds addr 0x" << std::hex
+               << addr << std::dec << " written by region " << w.region
+               << " (kind " << w.kind << ") >= persisted cursor "
+               << drain_cursor
+               << " — recovery would read past the last boundary";
+            violate(0, os.str());
+        }
+    }
+}
+
+} // namespace mem
+} // namespace lwsp

@@ -214,8 +214,15 @@ buildPhase(Module &m, const WorkloadProfile &p, const PhaseSpec &spec,
         cs_block.append(Instruction::lockOp(Opcode::LockRel, rShared, 0));
     }
     if (spec.atomicUpdate) {
+        // The atomic's cell must stay disjoint from every lockedRmw CS
+        // cell (offsets 8..8*csCells): an unlocked AtomicAdd landing
+        // between a CS's load and store of the same cell would be
+        // overwritten, making the final sum interleaving-dependent and
+        // breaking the generator's confluence contract. Offset 56 is
+        // the last granule of the CS cells' cache line, clear of any
+        // csCells <= 6 (enforced below).
         cs_block.append(Instruction::movi(rTmp, 1));
-        cs_block.append(Instruction::atomicAdd(rShared, 16, rTmp));
+        cs_block.append(Instruction::atomicAdd(rShared, 56, rTmp));
     }
     cs_block.append(Instruction::aluImm(Opcode::AddI, rHotMask, rHotMask,
                                         -1));
@@ -235,6 +242,10 @@ generate(const WorkloadProfile &profile)
     LWSP_ASSERT(isPowerOf2(profile.footprintBytes) &&
                     isPowerOf2(profile.hotBytes),
                 "footprint/hot sizes must be powers of two");
+    for (const PhaseSpec &spec : profile.phases) {
+        LWSP_ASSERT(!spec.lockedRmw || spec.csCells <= 6,
+                    "csCells > 6 would overlap the shared atomic cell");
+    }
 
     Workload w;
     w.profile = profile;

@@ -75,8 +75,18 @@ testConfig(unsigned threads)
     cfg.scheme = core::Scheme::LightWsp;
     cfg.numCores = std::min(8u, threads);
     cfg.maxCycles = 30'000'000;
+    cfg.oraclesEnabled = true;  // LRPO invariants checked on every run
     cfg.applySchemeDefaults();
     return cfg;
+}
+
+/** Require a clean oracle verdict (and that the oracle exists at all). */
+void
+expectOracleClean(const core::System &sys, const std::string &what)
+{
+    ASSERT_TRUE(sys.oracle() != nullptr) << what << ": oracle missing";
+    EXPECT_TRUE(sys.oracle()->ok())
+        << what << ": " << sys.oracle()->firstViolation();
 }
 
 /** App-visible state: per-thread partitions + the shared page. */
@@ -135,6 +145,7 @@ TEST_P(CrashSweep, RecoveryReproducesGoldenState)
     core::System golden(cfg, prog, c.threads);
     auto gr = golden.run();
     ASSERT_TRUE(gr.completed);
+    expectOracleClean(golden, "golden");
 
     // Crash run at the chosen fraction of the golden duration.
     Tick fail_at = static_cast<Tick>(fraction * gr.cycles);
@@ -147,12 +158,14 @@ TEST_P(CrashSweep, RecoveryReproducesGoldenState)
         return;
     }
     ASSERT_TRUE(victim.crashed());
+    expectOracleClean(victim, "victim");
 
     // Recover and run to completion.
     auto recovered = core::System::recover(cfg, prog, c.threads,
                                            victim.pmImage(), lock_addrs);
     auto rr = recovered->run();
     ASSERT_TRUE(rr.completed) << "recovery run did not finish";
+    expectOracleClean(*recovered, "recovery");
 
     expectAppStateEqual(recovered->pmImage(), golden.pmImage(), c.threads,
                         32 * 1024, "recovered");
@@ -213,6 +226,71 @@ TEST(CrashRecovery, DoubleCrashStillRecovers)
     } else {
         expectAppStateEqual(rec1->pmImage(), golden.pmImage(), c.threads,
                             32 * 1024, "single-crash");
+    }
+}
+
+/**
+ * Second power failure while the §IV-F drain itself is running: the
+ * battery-backed WPQ and MC registers survive, so the resumed drain
+ * must finish the job and recovery must be indistinguishable from a
+ * single failure at the same cycle. Swept over how far the first drain
+ * got before the lights went out again (0 = before any flush/ACK
+ * iteration), with the LRPO oracles armed throughout.
+ */
+TEST(CrashRecovery, DoubleFailureDuringDrainRecovers)
+{
+    setLogQuiet(true);
+    const CrashCase c{"mt-drain2", 4, true, false, 48};
+    compiler::LightWspCompiler comp;
+
+    auto wg = buildWorkload(c);
+    auto lock_addrs = wg.lockAddrs;
+    auto prog = comp.compile(std::move(wg.module));
+    core::SystemConfig cfg = testConfig(c.threads);
+
+    core::System golden(cfg, prog, c.threads);
+    auto gr = golden.run();
+    ASSERT_TRUE(gr.completed);
+    expectOracleClean(golden, "golden");
+
+    const double fracs[] = {0.15, 0.45, 0.75};
+    const unsigned drain_iters[] = {0, 1, 2, 5};
+    for (double f : fracs) {
+        Tick fail_at = static_cast<Tick>(f * gr.cycles);
+
+        // Reference: a single failure at the same cycle.
+        core::System single(cfg, prog, c.threads);
+        auto sr = single.runWithPowerFailure(fail_at);
+        if (sr.completed)
+            continue;  // finished before the failure point
+
+        for (unsigned iters : drain_iters) {
+            SCOPED_TRACE("f=" + std::to_string(f) +
+                         " drain_iters=" + std::to_string(iters));
+            core::System victim(cfg, prog, c.threads);
+            auto vr =
+                victim.runWithDoubleFailureDuringDrain(fail_at, iters);
+            ASSERT_FALSE(vr.completed);
+            ASSERT_TRUE(victim.crashed());
+            expectOracleClean(victim, "double-failure victim");
+
+            // The interrupted drain must be invisible: the post-crash
+            // PM image matches the single-failure image exactly.
+            auto diffs = victim.pmImage().diffInRange(
+                single.pmImage(), 0, ~static_cast<Addr>(0));
+            EXPECT_TRUE(diffs.empty())
+                << "double-failure PM image diverges from "
+                   "single-failure at 0x"
+                << std::hex << (diffs.empty() ? 0 : diffs[0]);
+
+            auto rec = core::System::recover(
+                cfg, prog, c.threads, victim.pmImage(), lock_addrs);
+            auto rr = rec->run();
+            ASSERT_TRUE(rr.completed);
+            expectOracleClean(*rec, "post-double-failure recovery");
+            expectAppStateEqual(rec->pmImage(), golden.pmImage(),
+                                c.threads, 32 * 1024, "double-drain");
+        }
     }
 }
 

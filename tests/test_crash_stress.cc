@@ -8,11 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "compiler/compiler.hh"
 #include "core/system.hh"
 #include "harness/sweep.hh"
@@ -21,6 +23,19 @@
 using namespace lwsp;
 
 namespace {
+
+/**
+ * Stress seed from the LWSP_TEST_SEED environment variable (0 = the
+ * fixed default workload). Every failure message carries the active
+ * seed, so a CI hit reproduces with
+ * `LWSP_TEST_SEED=<n> ./test_crash_stress`.
+ */
+std::uint64_t
+testSeed()
+{
+    const char *env = std::getenv("LWSP_TEST_SEED");
+    return env ? std::strtoull(env, nullptr, 10) : 0;
+}
 
 workloads::Workload
 stressWorkload(unsigned threads)
@@ -41,6 +56,24 @@ stressWorkload(unsigned threads)
     ph.trip = 64;
     ph.reps = 2;
     ph.lockedRmw = threads > 1;
+
+    // A nonzero seed perturbs the workload shape while keeping the
+    // store-dense character (and hence the WPQ pressure) intact.
+    if (std::uint64_t seed = testSeed()) {
+        Rng rng(seed ^ 0x73747265737373ull /* "stresss" */);
+        p.footprintBytes = (16u << rng.below(2)) * 1024;
+        p.hotBytes = p.footprintBytes / 4;
+        p.locality = 0.25 + 0.125 * rng.below(5);
+        ph.loads = 1 + static_cast<unsigned>(rng.below(2));
+        ph.stores = 2 + static_cast<unsigned>(rng.below(3));
+        ph.trip = 32 + 16 * static_cast<unsigned>(rng.below(5));
+        static const workloads::PhaseSpec::Pattern pats[] = {
+            workloads::PhaseSpec::Pattern::Random,
+            workloads::PhaseSpec::Pattern::Sequential,
+            workloads::PhaseSpec::Pattern::Random,
+        };
+        ph.pattern = pats[rng.below(3)];
+    }
     p.phases.push_back(ph);
     return workloads::generate(p);
 }
@@ -49,7 +82,9 @@ void
 crashSweep(core::SystemConfig cfg, unsigned threads, unsigned threshold,
            bool expect_fallback)
 {
+    SCOPED_TRACE("LWSP_TEST_SEED=" + std::to_string(testSeed()));
     setLogQuiet(true);
+    cfg.oraclesEnabled = true;  // LRPO invariants live on every run
     auto w = stressWorkload(threads);
     auto lock_addrs = w.lockAddrs;
     std::size_t footprint = w.profile.footprintBytes;
@@ -62,6 +97,9 @@ crashSweep(core::SystemConfig cfg, unsigned threads, unsigned threshold,
     core::System golden(cfg, prog, threads);
     auto gr = golden.run();
     ASSERT_TRUE(gr.completed);
+    ASSERT_TRUE(golden.oracle() != nullptr);
+    EXPECT_TRUE(golden.oracle()->ok())
+        << golden.oracle()->firstViolation();
     if (expect_fallback) {
         EXPECT_GT(gr.wpqFallbackFlushes + gr.wpqOverflowEvents, 0u)
             << "stress config did not exercise the fallback";
@@ -81,11 +119,21 @@ crashSweep(core::SystemConfig cfg, unsigned threads, unsigned threshold,
             victim.runWithPowerFailure(static_cast<Tick>(f * gr.cycles));
         if (vr.completed)
             return;
+        if (victim.oracle() && !victim.oracle()->ok()) {
+            errors[i] = "victim oracle at f=" + std::to_string(f) +
+                        ": " + victim.oracle()->firstViolation();
+            return;
+        }
         auto rec = core::System::recover(cfg, prog, threads,
                                          victim.pmImage(), lock_addrs);
         auto rr = rec->run();
         if (!rr.completed) {
             errors[i] = "recovery stuck at f=" + std::to_string(f);
+            return;
+        }
+        if (rec->oracle() && !rec->oracle()->ok()) {
+            errors[i] = "recovery oracle at f=" + std::to_string(f) +
+                        ": " + rec->oracle()->firstViolation();
             return;
         }
 

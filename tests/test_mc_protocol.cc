@@ -246,6 +246,74 @@ TEST(McProtocol, LateOlderWriteAbsorbedIntoFallbackPreImage)
     EXPECT_EQ(rig.pm.read(0x1000), 11u);  // region 1's value restored
 }
 
+TEST(McProtocol, CapacityOneWpqFlushesAndFallsBack)
+{
+    McConfig cfg;
+    cfg.wpqEntries = 1;
+    Rig rig(cfg);
+    // Normal path with the minimal queue: one entry, boundary, flush.
+    rig.accept(0, rig.store(0x1000, 11, 1));
+    EXPECT_TRUE(rig.mcs[0]->wpq().full());
+    rig.net.broadcastBoundary(1, rig.now);
+    rig.tick(50);
+    EXPECT_EQ(rig.pm.read(0x1000), 11u);
+    EXPECT_TRUE(rig.mcs[0]->wpq().empty());
+
+    // A single unboundaried entry saturates the queue: the §IV-D
+    // fallback must still make room.
+    rig.accept(0, rig.store(0x2000, 22, 3));
+    EXPECT_TRUE(rig.mcs[0]->wpq().full());
+    rig.tick(40);
+    EXPECT_GT(rig.mcs[0]->fallbackFlushes(), 0u);
+    EXPECT_FALSE(rig.mcs[0]->wpq().full());
+
+    rig.crash();  // region 3 never committed: undo must restore
+    EXPECT_EQ(rig.pm.read(0x2000), 0u);
+    EXPECT_EQ(rig.pm.read(0x1000), 11u);
+}
+
+TEST(McProtocol, CrashDrainWithEmptyQueue)
+{
+    Rig rig;
+    // Crash with nothing ever accepted: the drain must terminate
+    // immediately and leave PM untouched.
+    rig.crash();
+    EXPECT_EQ(rig.mcs[0]->flushedEntries(), 0u);
+
+    // Boundary-only traffic (empty regions) then crash: the battery
+    // drain still commits the broadcast prefix without any PM writes.
+    Rig rig2;
+    for (RegionId r = 1; r <= 3; ++r)
+        rig2.net.broadcastBoundary(r, rig2.now);
+    rig2.crash();
+    EXPECT_GE(rig2.mcs[0]->flushId(), 4u);
+    EXPECT_EQ(rig2.mcs[0]->flushedEntries(), 0u);
+}
+
+TEST(McProtocol, RegionStoresExactlyWpqCapacity)
+{
+    McConfig cfg;
+    cfg.wpqEntries = 4;
+    Rig rig(cfg);
+    // A region whose store count equals the queue capacity fills the
+    // WPQ completely but never overflows: once its boundary arrives it
+    // drains in order with no fallback.
+    for (unsigned i = 0; i < 4; ++i)
+        rig.accept(0, rig.store(0x1000 + 128 * i, i + 1, 1));
+    EXPECT_TRUE(rig.mcs[0]->wpq().full());
+    rig.net.broadcastBoundary(1, rig.now);
+    // Land the broadcast before the next MC tick: a full queue whose
+    // awaited boundary is still in flight is exactly the §IV-D overflow
+    // condition, which is not what this test is about.
+    rig.net.deliverAllNow(rig.now);
+    rig.tick(100);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(rig.pm.read(0x1000 + 128 * i), i + 1);
+    EXPECT_EQ(rig.mcs[0]->fallbackFlushes(), 0u);
+    EXPECT_TRUE(rig.mcs[0]->wpq().empty());
+    EXPECT_EQ(rig.mcs[0]->regionsCommitted(), 1u);
+}
+
 TEST(McProtocol, UngatedModeDrainsFifo)
 {
     McConfig cfg;

@@ -36,6 +36,37 @@ TEST(Wpq, CapacityAndOverflow)
     EXPECT_EQ(q.size(), 3u);
 }
 
+TEST(Wpq, CapacityOneQueue)
+{
+    Wpq q(1);
+    EXPECT_FALSE(q.full());
+    q.push(entry(0, 1, 1));
+    EXPECT_TRUE(q.full());
+    EXPECT_THROW(q.push(entry(8, 2, 1)), PanicError);
+    auto e = q.popFront();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->value, 1u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    q.push(entry(8, 2, 2));  // reusable after drain
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Wpq, EmptyQueueOperations)
+{
+    Wpq q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.popFront().has_value());
+    EXPECT_FALSE(q.popRegion(1).has_value());
+    EXPECT_EQ(q.minRegion(), invalidRegion);
+    EXPECT_FALSE(q.hasRegion(0));
+    EXPECT_FALSE(q.search(0).has_value());
+    EXPECT_EQ(q.discardRegionsAbove(0), 0u);
+    unsigned visited = 0;
+    q.forEach([&](const PersistEntry &) { ++visited; });
+    EXPECT_EQ(visited, 0u);
+}
+
 TEST(Wpq, CamSearchReturnsNewestMatch)
 {
     Wpq q(8);
