@@ -7,6 +7,8 @@
  *   --csv FILE        additionally dump the table as CSV
  *   --jobs N          sweep worker threads (0/default = all hardware threads)
  *   --sweep-json FILE write the sweep's wall-clock/throughput telemetry
+ *   --report FILE     write a versioned JSON run report (one record per
+ *                     distinct simulation point, full RunResult)
  *
  * Benches build a flat RunSpec list (row-major over the table) and hand
  * it to a SweepExecutor; results come back indexed by input order, so
@@ -37,6 +39,7 @@ struct BenchArgs
     std::string csvPath;
     unsigned jobs = 0;          ///< 0 = hardware concurrency
     std::string sweepJsonPath;  ///< empty = no telemetry file
+    std::string reportPath;     ///< empty = no run report
     std::string benchName;      ///< argv[0] basename, for telemetry
 };
 
@@ -59,10 +62,12 @@ parseArgs(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (a == "--sweep-json" && i + 1 < argc) {
             args.sweepJsonPath = argv[++i];
+        } else if (a == "--report" && i + 1 < argc) {
+            args.reportPath = argv[++i];
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--quick] [--csv FILE] [--jobs N]"
-                         " [--sweep-json FILE]\n";
+                         " [--sweep-json FILE] [--report FILE]\n";
             std::exit(2);
         }
     }
@@ -111,6 +116,11 @@ finish(const harness::ResultTable &table, const BenchArgs &args,
     if (!args.sweepJsonPath.empty()) {
         harness::writeSweepJson(args.sweepJsonPath, args.benchName,
                                 exec.totalStats());
+    }
+    if (!args.reportPath.empty()) {
+        harness::writeRunReports(args.reportPath, args.benchName,
+                                 exec.runRecords(), exec.totalStats());
+        std::cout << "run report written to " << args.reportPath << '\n';
     }
 }
 

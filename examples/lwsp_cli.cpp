@@ -8,6 +8,10 @@
  *   lwsp_cli run <app> [scheme]         # simulate and print run stats
  *   lwsp_cli crash <app> <fraction>     # crash + recover + verify
  *
+ * `run` also accepts `--trace-out FILE` (binary event trace; inspect
+ * with lwsp_trace, convert to Perfetto JSON with `lwsp_trace convert`)
+ * and `--stats-json FILE` (full component stat registry as JSON).
+ *
  * Schemes: baseline psp-ideal lightwsp naive-sfence ppa capri cwsp.
  * `<file.lir>` is the textual LightIR format (see ir/text_io.hh).
  */
@@ -22,6 +26,7 @@
 #include "core/system.hh"
 #include "harness/runner.hh"
 #include "ir/text_io.hh"
+#include "trace/export.hh"
 #include "workloads/generator.hh"
 
 using namespace lwsp;
@@ -34,7 +39,8 @@ usage()
     std::fprintf(stderr,
                  "usage: lwsp_cli list\n"
                  "       lwsp_cli compile <app|file.lir>\n"
-                 "       lwsp_cli run <app> [scheme]\n"
+                 "       lwsp_cli run <app> [scheme] [--trace-out FILE]"
+                 " [--stats-json FILE]\n"
                  "       lwsp_cli crash <app> <fraction 0..1>\n");
     return 2;
 }
@@ -114,17 +120,12 @@ cmdCompile(const std::string &what)
     return 0;
 }
 
-int
-cmdRun(const std::string &app, const std::string &scheme_name)
+void
+printRunStats(const std::string &scheme_name, unsigned threads,
+              const core::RunResult &r)
 {
-    harness::Runner runner;
-    harness::RunSpec spec;
-    spec.workload = app;
-    spec.scheme = schemeFromName(scheme_name);
-    auto o = runner.run(spec);
-    const auto &r = o.result;
     std::printf("scheme        %s\n", scheme_name.c_str());
-    std::printf("threads       %u\n", o.threads);
+    std::printf("threads       %u\n", threads);
     std::printf("cycles        %llu\n",
                 static_cast<unsigned long long>(r.cycles));
     std::printf("instructions  %llu (IPC %.2f)\n",
@@ -146,9 +147,70 @@ cmdRun(const std::string &app, const std::string &scheme_name)
                 static_cast<unsigned long long>(r.sbFullCycles),
                 static_cast<unsigned long long>(r.febFullCycles),
                 static_cast<unsigned long long>(r.lockBlockedCycles));
-    if (spec.scheme != core::Scheme::Baseline) {
-        double slow = runner.slowdownVsBaseline(spec);
-        std::printf("slowdown      %.3fx vs baseline\n", slow);
+}
+
+int
+cmdRun(const std::string &app, const std::string &scheme_name,
+       const std::string &trace_out, const std::string &stats_json)
+{
+    harness::RunSpec spec;
+    spec.workload = app;
+    spec.scheme = schemeFromName(scheme_name);
+
+    if (trace_out.empty() && stats_json.empty()) {
+        harness::Runner runner;
+        auto o = runner.run(spec);
+        printRunStats(scheme_name, o.threads, o.result);
+        if (spec.scheme != core::Scheme::Baseline) {
+            double slow = runner.slowdownVsBaseline(spec);
+            std::printf("slowdown      %.3fx vs baseline\n", slow);
+        }
+        return 0;
+    }
+
+    // Telemetry wants the live System (its sink and stat registry),
+    // which the memoizing Runner doesn't expose — drive one directly,
+    // mirroring Runner::runUncached's warmup setup so the printed
+    // numbers match a plain `run`.
+    const auto &profile = workloads::profileByName(app);
+    auto w = workloads::generate(profile);
+    core::SystemConfig cfg = harness::makeConfig(profile, spec);
+    cfg.warmupInsts =
+        w.estimatedInstsPerThread * profile.threads * 35 / 100;
+    if (!trace_out.empty())
+        cfg.traceEnabled = true;
+    compiler::CompiledProgram prog =
+        harness::prepareProgram(std::move(w), spec);
+
+    core::System sys(cfg, prog, profile.threads);
+    auto r = sys.run();
+    printRunStats(scheme_name, profile.threads, r);
+
+    if (!trace_out.empty()) {
+        const auto *sink = sys.traceSink();
+        auto events = sink->snapshot();
+        if (!trace::writeBinaryFile(trace_out, events)) {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         trace_out.c_str());
+            return 1;
+        }
+        std::printf("trace         %zu events -> %s%s\n", events.size(),
+                    trace_out.c_str(),
+                    sink->wrapped() ? " (ring wrapped; oldest dropped)"
+                                    : "");
+    }
+    if (!stats_json.empty()) {
+        stats::Registry reg;
+        sys.registerStats(reg);
+        std::ofstream os(stats_json);
+        if (!os) {
+            std::fprintf(stderr, "cannot write stats to %s\n",
+                         stats_json.c_str());
+            return 1;
+        }
+        reg.dumpJson(os);
+        std::printf("stats         %zu groups -> %s\n", reg.numGroups(),
+                    stats_json.c_str());
     }
     return 0;
 }
@@ -207,8 +269,22 @@ main(int argc, char **argv)
             return cmdList();
         if (cmd == "compile" && argc == 3)
             return cmdCompile(argv[2]);
-        if (cmd == "run" && (argc == 3 || argc == 4))
-            return cmdRun(argv[2], argc == 4 ? argv[3] : "lightwsp");
+        if (cmd == "run" && argc >= 3) {
+            std::string scheme = "lightwsp", trace_out, stats_json;
+            int i = 3;
+            if (i < argc && argv[i][0] != '-')
+                scheme = argv[i++];
+            for (; i < argc; ++i) {
+                std::string a = argv[i];
+                if (a == "--trace-out" && i + 1 < argc)
+                    trace_out = argv[++i];
+                else if (a == "--stats-json" && i + 1 < argc)
+                    stats_json = argv[++i];
+                else
+                    return usage();
+            }
+            return cmdRun(argv[2], scheme, trace_out, stats_json);
+        }
         if (cmd == "crash" && argc == 4)
             return cmdCrash(argv[2], std::atof(argv[3]));
     } catch (const FatalError &e) {

@@ -4,12 +4,15 @@
 # per-bench telemetry into one BENCH_sweep.json.
 #
 #   scripts/bench_all.sh [--quick] [--jobs N] [--build-dir DIR]
-#                        [--out-dir DIR] [--speedup] [--fuzz]
+#                        [--out-dir DIR] [--speedup] [--fuzz] [--trace]
 #
 #   --quick      one representative app per suite (fast smoke pass)
 #   --jobs N     sweep worker threads per bench (default: all cores)
 #   --build-dir  where the bench binaries live (default: ./build)
 #   --out-dir    where CSVs/JSON land (default: BUILD_DIR/bench_out)
+#   --trace      additionally run one traced simulation point
+#                (lwsp_cli run --trace-out) and round it through the
+#                lwsp_trace inspector and the Perfetto converter
 #   --speedup    additionally run fig07 at --jobs 1 and --jobs $(nproc),
 #                byte-diff the two CSVs and record the wall-clock ratio
 #                in BENCH_sweep.json
@@ -29,6 +32,7 @@ QUICK=""
 JOBS=0
 SPEEDUP=0
 FUZZ=0
+TRACE=0
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build"
 OUT_DIR=""
@@ -41,8 +45,10 @@ while [ $# -gt 0 ]; do
         --out-dir) OUT_DIR="$2"; shift ;;
         --speedup) SPEEDUP=1 ;;
         --fuzz) FUZZ=1 ;;
+        --trace) TRACE=1 ;;
         *) echo "usage: $0 [--quick] [--jobs N] [--build-dir DIR]" \
-                "[--out-dir DIR] [--speedup] [--fuzz]" >&2; exit 2 ;;
+                "[--out-dir DIR] [--speedup] [--fuzz] [--trace]" >&2
+           exit 2 ;;
     esac
     shift
 done
@@ -151,6 +157,34 @@ if [ "$SPEEDUP" = 1 ]; then
     SPEEDUP_JSON=",\"speedup\":{\"bench\":\"fig07_slowdown\",\
 \"serial_seconds\":$SERIAL,\"parallel_jobs\":$NP,\
 \"parallel_seconds\":$PARALLEL,\"ratio\":$RATIO}"
+fi
+
+if [ "$TRACE" = 1 ]; then
+    CLI="$BUILD_DIR/examples/lwsp_cli"
+    LT="$BUILD_DIR/src/trace/lwsp_trace"
+    echo "== trace smoke: lwsp_cli run rb lightwsp --trace-out"
+    if [ ! -x "$CLI" ] || [ ! -x "$LT" ]; then
+        echo "error: lwsp_cli / lwsp_trace not found under $BUILD_DIR" >&2
+        FAILED=1
+    elif "$CLI" run rb lightwsp \
+            --trace-out "$OUT_DIR/trace_smoke.trc" \
+            --stats-json "$OUT_DIR/trace_smoke.stats.json" \
+            > "$OUT_DIR/trace_smoke.txt" \
+        && "$LT" info "$OUT_DIR/trace_smoke.trc" \
+            >> "$OUT_DIR/trace_smoke.txt" \
+        && "$LT" convert "$OUT_DIR/trace_smoke.trc" \
+            "$OUT_DIR/trace_smoke.perfetto.json" \
+            >> "$OUT_DIR/trace_smoke.txt" \
+        && grep -q '"traceEvents"' "$OUT_DIR/trace_smoke.perfetto.json"
+    then
+        echo "  trace ok:" \
+             "$(grep '^events:' "$OUT_DIR/trace_smoke.txt" \
+                | awk '{print $2}') events," \
+             "perfetto json $OUT_DIR/trace_smoke.perfetto.json"
+    else
+        echo "  TRACE SMOKE FAILED (log: $OUT_DIR/trace_smoke.txt)"
+        FAILED=1
+    fi
 fi
 
 if [ "$FUZZ" = 1 ]; then

@@ -30,6 +30,75 @@ StatGroup::dump(std::ostream &os) const
         line(stat + ".max", d.summary().max(), "");
         line(stat + ".count", static_cast<double>(d.summary().count()), "");
     }
+    for (const auto &[stat, e] : funcs_)
+        line(stat, e.fn(), e.desc);
+}
+
+namespace {
+
+/** JSON number (JSON has no NaN/Inf — those become null). */
+void
+jsonNum(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << std::setprecision(12) << v;
+    else
+        os << "null";
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    auto key = [&](const std::string &stat) -> std::ostream & {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << stat << "\":";
+        return os;
+    };
+
+    for (const auto &[stat, e] : scalars_) {
+        key(stat);
+        jsonNum(os, e.stat->value());
+    }
+    for (const auto &[stat, e] : averages_) {
+        key(stat);
+        os << "{\"mean\":";
+        jsonNum(os, e.stat->mean());
+        os << ",\"min\":";
+        jsonNum(os, e.stat->min());
+        os << ",\"max\":";
+        jsonNum(os, e.stat->max());
+        os << ",\"count\":" << e.stat->count() << '}';
+    }
+    for (const auto &[stat, e] : dists_) {
+        const auto &d = *e.stat;
+        key(stat);
+        os << "{\"mean\":";
+        jsonNum(os, d.summary().mean());
+        os << ",\"min\":";
+        jsonNum(os, d.summary().min());
+        os << ",\"max\":";
+        jsonNum(os, d.summary().max());
+        os << ",\"count\":" << d.summary().count()
+           << ",\"underflow\":" << d.underflow()
+           << ",\"overflow\":" << d.overflow() << ",\"buckets\":[";
+        for (std::size_t i = 0; i < d.buckets().size(); ++i) {
+            if (i)
+                os << ',';
+            os << d.buckets()[i];
+        }
+        os << "]}";
+    }
+    for (const auto &[stat, e] : funcs_) {
+        key(stat);
+        jsonNum(os, e.fn());
+    }
+    os << '}';
 }
 
 double
@@ -39,6 +108,48 @@ StatGroup::scalarValue(const std::string &stat_name) const
     if (it == scalars_.end())
         panic("StatGroup ", name_, " has no scalar '", stat_name, "'");
     return it->second.stat->value();
+}
+
+double
+StatGroup::funcValue(const std::string &stat_name) const
+{
+    auto it = funcs_.find(stat_name);
+    if (it == funcs_.end())
+        panic("StatGroup ", name_, " has no func stat '", stat_name, "'");
+    return it->second.fn();
+}
+
+StatGroup &
+Registry::group(const std::string &name)
+{
+    auto it = index_.find(name);
+    if (it != index_.end())
+        return *groups_[it->second];
+    index_.emplace(name, groups_.size());
+    groups_.push_back(std::make_unique<StatGroup>(name));
+    return *groups_.back();
+}
+
+void
+Registry::dump(std::ostream &os) const
+{
+    for (const auto &g : groups_)
+        g->dump(os);
+}
+
+void
+Registry::dumpJson(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    for (const auto &g : groups_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << g->name() << "\":";
+        g->dumpJson(os);
+    }
+    os << '}';
 }
 
 double

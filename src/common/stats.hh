@@ -9,7 +9,9 @@
 #define LWSP_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -157,13 +159,31 @@ class StatGroup
         dists_.emplace(stat_name, Entry<Distribution>{d, desc});
     }
 
+    /**
+     * Register a callback-backed stat: the value is computed at dump
+     * time. This is how components with plain integer counters (the hot
+     * paths) join the registry without changing their counting code.
+     */
+    void
+    addFunc(const std::string &stat_name, std::function<double()> fn,
+            const std::string &desc = "")
+    {
+        funcs_.emplace(stat_name, FuncEntry{std::move(fn), desc});
+    }
+
     /** Dump every registered stat in "group.stat value # desc" format. */
     void dump(std::ostream &os) const;
+
+    /** Dump as one JSON object: {"stat": value, "dist": {...}, ...}. */
+    void dumpJson(std::ostream &os) const;
 
     const std::string &name() const { return name_; }
 
     /** Look up a registered scalar's value (for tests); panics if missing. */
     double scalarValue(const std::string &stat_name) const;
+
+    /** Evaluate a registered func stat (for tests); panics if missing. */
+    double funcValue(const std::string &stat_name) const;
 
   private:
     template <typename T>
@@ -173,10 +193,41 @@ class StatGroup
         std::string desc;
     };
 
+    struct FuncEntry
+    {
+        std::function<double()> fn;
+        std::string desc;
+    };
+
     std::string name_;
     std::map<std::string, Entry<Scalar>> scalars_;
     std::map<std::string, Entry<Average>> averages_;
     std::map<std::string, Entry<Distribution>> dists_;
+    std::map<std::string, FuncEntry> funcs_;
+};
+
+/**
+ * Ordered collection of StatGroups — one per component of a system.
+ * Groups are created on demand and dumped in creation order, in the
+ * established text format or as a single JSON object keyed by group.
+ */
+class Registry
+{
+  public:
+    /** Get or create the group named @p name (stable reference). */
+    StatGroup &group(const std::string &name);
+
+    /** "group.stat value" lines for every group, creation order. */
+    void dump(std::ostream &os) const;
+
+    /** {"group": {...}, ...} — the JSON run-report stats section. */
+    void dumpJson(std::ostream &os) const;
+
+    std::size_t numGroups() const { return groups_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<StatGroup>> groups_;
+    std::map<std::string, std::size_t> index_;
 };
 
 /** Geometric mean of positive values; panics on empty input. */

@@ -48,6 +48,13 @@ System::System(const SystemConfig &cfg,
         cfg_.mc.oracle = oracle_.get();
     }
 
+    if (cfg_.traceEnabled) {
+        traceSink_ = std::make_unique<trace::TraceSink>(
+            cfg_.traceBufferEvents, cfg_.traceMask);
+        cfg_.mc.sink = traceSink_.get();
+        cfg_.core.sink = traceSink_.get();
+    }
+
     std::vector<mem::McEndpoint *> endpoints;
     for (McId m = 0; m < cfg_.numMcs; ++m) {
         mcs_.push_back(std::make_unique<mem::MemController>(
@@ -75,6 +82,13 @@ System::System(const SystemConfig &cfg,
         threads_.push_back(std::make_unique<cpu::ThreadContext>(
             program_, t, execMem_, locks_, regionAlloc_));
         threads_.back()->reset(0);
+        // Each thread's first region opens at cycle 0 on its home core;
+        // later begins are emitted at boundary retirement.
+        trace::emitIf<trace::Category::Region>(
+            traceSink_.get(),
+            {0, trace::EventType::RegionBegin,
+             static_cast<std::int32_t>(t % cfg_.numCores), t,
+             threads_.back()->currentRegion(), 0, 0, 0});
     }
 
     runQueues_.resize(cfg_.numCores);
@@ -147,6 +161,11 @@ System::scheduleThreads(Tick now)
             cpu::ThreadContext *cand = threads_[queue[idx]].get();
             if (cand->halted() || cand == cur || cand->wouldBlock())
                 continue;
+            trace::emitIf<trace::Category::Sched>(
+                traceSink_.get(),
+                {now, trace::EventType::CtxSwitch,
+                 static_cast<std::int32_t>(c), cand->tid(), invalidRegion,
+                 0, 0, cur ? cur->tid() : ~0ull});
             core.setThread(cand);
             runIndex_[c] = idx;
             if (std::getenv("LWSP_SCHED_TRACE")) {
@@ -252,6 +271,11 @@ void
 System::executeCrashDrain(Tick now, int interrupt_after)
 {
     crashed_ = true;
+    trace::emitIf<trace::Category::Power>(
+        traceSink_.get(),
+        {now, trace::EventType::PowerFailure, -1, 0, invalidRegion, 0, 0,
+         interrupt_after >= 0 ? static_cast<std::uint64_t>(interrupt_after)
+                              : 0});
     // Step 1: in-flight MC-to-MC ACKs are guaranteed delivery by the
     // MC-resident battery; everything on core persist paths dies.
     noc_.deliverAllNow(now);
@@ -271,6 +295,10 @@ System::executeCrashDrain(Tick now, int interrupt_after)
     // fallback overflow of a region that never became ready).
     for (auto &mc : mcs_)
         mc->crashFinish(now);
+    trace::emitIf<trace::Category::Power>(
+        traceSink_.get(),
+        {now, trace::EventType::CrashDrainEnd, -1, 0, invalidRegion, 0, 0,
+         static_cast<std::uint64_t>(iters)});
 }
 
 std::unique_ptr<System>
@@ -311,6 +339,25 @@ System::recover(const SystemConfig &cfg,
         if (v != 0)
             sys->locks_.restore(lock, static_cast<ThreadId>(v - 1));
     }
+    if (sys->traceSink_) {
+        // The construction-time RegionBegin events described thread
+        // positions that were just overwritten; restart the trace at
+        // the recovered image.
+        sys->traceSink_->clear();
+        trace::emitIf<trace::Category::Power>(
+            sys->traceSink_.get(),
+            {0, trace::EventType::Recovery, -1, 0, invalidRegion, 0, 0,
+             num_threads});
+        for (ThreadId t = 0; t < num_threads; ++t) {
+            if (sys->threads_[t]->halted())
+                continue;
+            trace::emitIf<trace::Category::Region>(
+                sys->traceSink_.get(),
+                {0, trace::EventType::RegionBegin,
+                 static_cast<std::int32_t>(t % cfg.numCores), t,
+                 sys->threads_[t]->currentRegion(), 0, 0, 0});
+        }
+    }
     return sys;
 }
 
@@ -333,11 +380,24 @@ System::loadLatency(CoreId core_id, Addr addr, Tick now)
             return !core->febContainsLine(line);
         });
     }
+    if (r1.evictedDirty) {
+        trace::emitIf<trace::Category::Cache>(
+            traceSink_.get(),
+            {now, trace::EventType::CacheWriteback,
+             static_cast<std::int32_t>(core_id), 0, invalidRegion,
+             r1.evictedLine, 0, 0});
+    }
     if (r1.hit)
         return lat;
 
     lat += l2_->latency();
     auto r2 = l2_->access(addr, false);
+    if (r2.evictedDirty) {
+        trace::emitIf<trace::Category::Cache>(
+            traceSink_.get(),
+            {now, trace::EventType::CacheWriteback, -1, 0, invalidRegion,
+             r2.evictedLine, 0, 0});
+    }
     if (r2.hit)
         return lat;
 
@@ -369,6 +429,13 @@ System::storeAccess(CoreId core_id, Addr addr, Tick now)
     auto res = l1d_.at(core_id)->access(addr, true);
     if (res.blocked)
         return false;
+    if (res.evictedDirty) {
+        trace::emitIf<trace::Category::Cache>(
+            traceSink_.get(),
+            {now, trace::EventType::CacheWriteback,
+             static_cast<std::int32_t>(core_id), 0, invalidRegion,
+             res.evictedLine, 0, 0});
+    }
     // Ideal PSP runs PM as main memory: store lines that miss the cache
     // hierarchy reach the PM device directly and steal read bandwidth —
     // the write-interference half of forfeiting the DRAM cache.
@@ -483,6 +550,129 @@ System::dumpStats(std::ostream &os) const
          static_cast<double>(noc_.messagesSent()));
     line(noc_.name(), "boundariesBroadcast",
          static_cast<double>(noc_.boundariesBroadcast()));
+}
+
+void
+System::registerStats(stats::Registry &registry) const
+{
+    auto fn = [](auto getter) {
+        return [getter] { return static_cast<double>(getter()); };
+    };
+
+    for (const auto &cp : cores_) {
+        const cpu::Core *c = cp.get();
+        stats::StatGroup &g = registry.group(c->name());
+        g.addFunc("instsRetired", fn([c] { return c->instsRetired(); }),
+                  "instructions retired");
+        g.addFunc("storesRetired", fn([c] { return c->storesRetired(); }),
+                  "stores retired");
+        g.addFunc("boundariesRetired",
+                  fn([c] { return c->boundariesRetired(); }),
+                  "region boundaries retired");
+        g.addFunc("robFullCycles", fn([c] { return c->robFullCycles(); }),
+                  "cycles dispatch stalled on a full ROB");
+        g.addFunc("sbFullCycles", fn([c] { return c->sbFullCycles(); }),
+                  "cycles retirement stalled on a full store buffer");
+        g.addFunc("febFullCycles", fn([c] { return c->febFullCycles(); }),
+                  "cycles the SB stalled on a full front-end buffer");
+        g.addFunc("boundaryWaitCycles",
+                  fn([c] { return c->boundaryWaitCycles(); }),
+                  "cycles stalled waiting for region durability");
+        g.addFunc("lockBlockedCycles",
+                  fn([c] { return c->lockBlockedCycles(); }),
+                  "cycles blocked on a contended lock");
+        g.addFunc("pathBlockedCycles",
+                  fn([c] { return c->pathBlockedCycles(); }),
+                  "cycles persist-path egress was refused by the WPQ");
+        g.addFunc("snoopBlockedCycles",
+                  fn([c] { return c->snoopBlockedCycles(); }),
+                  "cycles the SB head hit a zero-victim snoop conflict");
+        g.addFunc("branchMisses", fn([c] { return c->branchMisses(); }),
+                  "branch mispredictions");
+        g.addDistribution("regionInsts", &c->regionInsts(),
+                          "dynamic instructions per region");
+        g.addDistribution("regionStores", &c->regionStores(),
+                          "stores per region");
+    }
+
+    auto cacheStats = [&](const mem::Cache *cache) {
+        stats::StatGroup &g = registry.group(cache->name());
+        g.addFunc("hits", fn([cache] { return cache->hits(); }), "hits");
+        g.addFunc("misses", fn([cache] { return cache->misses(); }),
+                  "misses");
+        g.addFunc("bufferConflicts",
+                  fn([cache] { return cache->bufferConflicts(); }),
+                  "dirty evictions vetoed by buffer snooping");
+        g.addFunc("divertedVictims",
+                  fn([cache] { return cache->divertedVictims(); }),
+                  "LRU victims diverted to a clean way");
+    };
+    for (const auto &l1 : l1d_)
+        cacheStats(l1.get());
+    cacheStats(l2_.get());
+
+    for (const auto &mp : mcs_) {
+        const mem::MemController *mc = mp.get();
+        stats::StatGroup &g = registry.group(mc->name());
+        g.addFunc("flushedEntries",
+                  fn([mc] { return mc->flushedEntries(); }),
+                  "WPQ entries released to PM");
+        g.addFunc("fallbackFlushes",
+                  fn([mc] { return mc->fallbackFlushes(); }),
+                  "undo-logged out-of-order releases (deadlock fallback)");
+        g.addFunc("overflowEvents",
+                  fn([mc] { return mc->overflowEvents(); }),
+                  "soft WPQ overflows during fallback");
+        g.addFunc("wpqLoadHits", fn([mc] { return mc->wpqLoadHits(); }),
+                  "LLC-miss loads served from the WPQ CAM");
+        g.addFunc("loadMisses", fn([mc] { return mc->loadMisses(); }),
+                  "LLC misses served by this controller");
+        g.addFunc("regionsCommitted",
+                  fn([mc] { return mc->regionsCommitted(); }),
+                  "regions whose flush-ACK round completed");
+        g.addFunc("flushId", fn([mc] { return mc->flushId(); }),
+                  "persistent flush-ID register (committed prefix + 1)");
+        g.addFunc("maxWpqOccupancy",
+                  fn([mc] { return mc->maxWpqOccupancy(); }),
+                  "peak WPQ occupancy");
+        g.addDistribution("wpqOccupancy", &mc->wpqOccupancy(),
+                          "WPQ occupancy at enqueue");
+        g.addDistribution("bcastLatency", &mc->bcastLatency(),
+                          "boundary arrival to full bdry-ACK round, "
+                          "cycles");
+        cacheStats(&const_cast<mem::MemController *>(mc)->dramCache());
+
+        const mem::Wpq *wpq = &mc->wpq();
+        stats::StatGroup &wg = registry.group(mc->name() + ".wpq");
+        wg.addFunc("pushes", fn([wpq] { return wpq->pushes(); }),
+                   "entries enqueued");
+        wg.addFunc("pops", fn([wpq] { return wpq->pops(); }),
+                   "entries dequeued");
+        wg.addFunc("searches", fn([wpq] { return wpq->searches(); }),
+                   "CAM searches");
+        wg.addFunc("searchHits", fn([wpq] { return wpq->searchHits(); }),
+                   "CAM search hits");
+    }
+
+    stats::StatGroup &ng = registry.group(noc_.name());
+    const noc::Noc *noc = &noc_;
+    ng.addFunc("messagesSent", fn([noc] { return noc->messagesSent(); }),
+               "control-plane messages sent");
+    ng.addFunc("boundariesBroadcast",
+               fn([noc] { return noc->boundariesBroadcast(); }),
+               "boundary broadcasts");
+
+    stats::StatGroup &sg = registry.group("system");
+    sg.addFunc("cycles", fn([this] { return now() - warmupCycles_; }),
+               "simulated cycles (post-warmup)");
+    sg.addFunc("staleLoads", fn([this] { return staleLoads_; }),
+               "loads that returned stale data (no buffer snooping)");
+    sg.addFunc("crashed", fn([this] { return crashed_ ? 1 : 0; }),
+               "1 if the crash-drain protocol executed");
+    sg.addFunc("traceEvents", fn([this] {
+                   return traceSink_ ? traceSink_->emitted() : 0;
+               }),
+               "telemetry events accepted by the sink");
 }
 
 RunResult

@@ -28,6 +28,7 @@
 #include "mem/oracle.hh"
 #include "noc/noc.hh"
 #include "sim/simulator.hh"
+#include "trace/sink.hh"
 
 namespace lwsp {
 namespace core {
@@ -118,6 +119,10 @@ class System : public cpu::MemPort
     mem::LrpoOracle *oracle() { return oracle_.get(); }
     const mem::LrpoOracle *oracle() const { return oracle_.get(); }
 
+    /** Telemetry sink (null unless cfg.traceEnabled). */
+    trace::TraceSink *traceSink() { return traceSink_.get(); }
+    const trace::TraceSink *traceSink() const { return traceSink_.get(); }
+
     /** Post-crash (or final) persistent-memory state. */
     const mem::MemImage &pmImage() const { return pm_; }
 
@@ -165,6 +170,15 @@ class System : public cpu::MemPort
      */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Register every component's statistics (callback-backed) with
+     * @p registry: per-core pipeline counters and region-size
+     * distributions, cache hit/miss, per-MC WPQ counters with occupancy
+     * and broadcast-latency histograms, NoC traffic, and system-level
+     * counters. The registry must not outlive this System.
+     */
+    void registerStats(stats::Registry &registry) const;
+
   private:
     bool done() const;
     bool advance(Tick limit);
@@ -176,6 +190,7 @@ class System : public cpu::MemPort
     SystemConfig cfg_;
     const compiler::CompiledProgram &program_;
     std::unique_ptr<mem::LrpoOracle> oracle_;
+    std::unique_ptr<trace::TraceSink> traceSink_;
 
     mem::MemImage execMem_;
     mem::MemImage pm_;

@@ -18,6 +18,7 @@
 #include "cpu/core.hh"
 #include "mem/cache.hh"
 #include "mem/mem_controller.hh"
+#include "trace/events.hh"
 
 namespace lwsp {
 namespace core {
@@ -100,6 +101,21 @@ struct SystemConfig
      * null-pointer checks and the timing model is unchanged either way.
      */
     bool oraclesEnabled = false;
+
+    /**
+     * Compile the telemetry subsystem into this system: the System owns
+     * a trace::TraceSink and every component (cores, MCs, caches, the
+     * scheduler, the crash-drain engine) emits typed events to it. Off
+     * by default — the hook sites are null-pointer checks and cycle
+     * counts are bit-identical either way (asserted by test_trace).
+     */
+    bool traceEnabled = false;
+
+    /** Run-time category filter for the sink (bit-or of Category). */
+    std::uint32_t traceMask = trace::allCategories;
+
+    /** Ring-buffer capacity in events (oldest overwritten on wrap). */
+    std::size_t traceBufferEvents = 1u << 16;
 
     /**
      * Derive the per-scheme core/MC settings. Call once after setting the

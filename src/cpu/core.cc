@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "trace/sink.hh"
+
 namespace lwsp {
 namespace cpu {
 
@@ -46,8 +48,15 @@ Core::persistEgress(Tick now)
     }
     // Boundary broadcasts happen here, after every earlier granule of the
     // FIFO path has been accepted — the ordering LRPO relies on.
-    if (head.entry.isBoundary)
+    if (head.entry.isBoundary) {
         port_.broadcastBoundary(head.entry.broadcastRegion, now);
+        trace::emitIf<trace::Category::Boundary>(
+            cfg_.sink,
+            {now, trace::EventType::BoundaryBcastSend,
+             static_cast<std::int32_t>(id_), head.entry.thread,
+             head.entry.broadcastRegion, head.entry.addr,
+             head.entry.value, 0});
+    }
     feb_.pop_front();
     LWSP_ASSERT(launchedCount_ > 0, "egress of unlaunched entry");
     --launchedCount_;
@@ -139,6 +148,19 @@ Core::retire(Tick now)
                 static_cast<double>(instsSinceBoundary_));
             regionStores_.sample(
                 static_cast<double>(storesSinceBoundary_));
+            trace::emitIf<trace::Category::Region>(
+                cfg_.sink,
+                {now, trace::EventType::RegionClose,
+                 static_cast<std::int32_t>(id_), rec.thread,
+                 rec.broadcastRegion, rec.addr, rec.value,
+                 instsSinceBoundary_});
+            if (rec.nextRegion != invalidRegion) {
+                trace::emitIf<trace::Category::Region>(
+                    cfg_.sink,
+                    {now, trace::EventType::RegionBegin,
+                     static_cast<std::int32_t>(id_), rec.thread,
+                     rec.nextRegion, 0, 0, 0});
+            }
             instsSinceBoundary_ = 0;
             storesSinceBoundary_ = 0;
             if (cfg_.boundaryPolicy ==
@@ -146,6 +168,12 @@ Core::retire(Tick now)
                 waitingDurable_ = true;
                 durableRegion_ = rec.region;
             }
+        } else if (rec.op == ir::Opcode::CkptStore) {
+            trace::emitIf<trace::Category::Checkpoint>(
+                cfg_.sink,
+                {now, trace::EventType::CheckpointStore,
+                 static_cast<std::int32_t>(id_), rec.thread, rec.region,
+                 rec.addr, rec.value, 0});
         }
 
         if (cfg_.boundaryPolicy == CoreConfig::BoundaryPolicy::HwImplicit &&

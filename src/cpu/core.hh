@@ -35,6 +35,11 @@
 #include "sim/clocked.hh"
 
 namespace lwsp {
+
+namespace trace {
+class TraceSink;
+} // namespace trace
+
 namespace cpu {
 
 struct CoreConfig
@@ -62,6 +67,14 @@ struct CoreConfig
     double branchMissRate = 0.02;
     unsigned branchMissPenalty = 14;
     std::uint64_t rngSeed = 1;
+
+    /**
+     * When non-null, retirement and persist-path egress emit trace
+     * events (region lifecycle, boundary sends, checkpoint stores).
+     * Null (the default) keeps the hooks zero-cost — the same
+     * discipline as McConfig::oracle.
+     */
+    trace::TraceSink *sink = nullptr;
 };
 
 /** Memory-system services the core needs; implemented by the System. */

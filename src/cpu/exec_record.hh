@@ -43,6 +43,8 @@ struct ExecRecord
     bool isBoundary = false;       ///< PC-checkpointing region end
     /** Region broadcast at path exit (see PersistEntry::broadcastRegion). */
     RegionId broadcastRegion = invalidRegion;
+    /** Region entered after this boundary (invalid at halt); trace-only. */
+    RegionId nextRegion = invalidRegion;
     std::uint32_t site = 0;        ///< boundary site id (or haltSite)
 
     bool isBranch = false;

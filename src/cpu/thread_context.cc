@@ -177,6 +177,7 @@ ThreadContext::step(ExecRecord &rec)
         region_ = regions_.alloc();
         ++boundaries_;
         rec.region = region_;
+        rec.nextRegion = region_;
         rec.isLoad = true;
         rec.isStore = true;
         rec.addr = addr;
@@ -195,6 +196,7 @@ ThreadContext::step(ExecRecord &rec)
         region_ = regions_.alloc();
         ++boundaries_;
         rec.region = region_;
+        rec.nextRegion = region_;
         rec.isStore = true;
         rec.addr = addr;
         rec.value = static_cast<std::uint64_t>(tid_) + 1;
@@ -211,6 +213,7 @@ ThreadContext::step(ExecRecord &rec)
         region_ = regions_.alloc();
         ++boundaries_;
         rec.region = region_;
+        rec.nextRegion = region_;
         rec.isStore = true;
         rec.addr = addr;
         rec.value = 0;
@@ -227,6 +230,7 @@ ThreadContext::step(ExecRecord &rec)
         region_ = regions_.alloc();
         ++boundaries_;
         rec.region = region_;
+        rec.nextRegion = region_;
         rec.isStore = true;
         rec.addr = slot;
         rec.value = 0;
@@ -297,6 +301,7 @@ ThreadContext::step(ExecRecord &rec)
         rec.region = region_;           // the boundary PC-store is the
         rec.broadcastRegion = region_;  // ended region's last store
         region_ = regions_.alloc();
+        rec.nextRegion = region_;
         ++boundaries_;
         advance();
         break;

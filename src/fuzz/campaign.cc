@@ -272,12 +272,15 @@ harvestOracle(core::System &sys, const char *what, std::uint64_t &checks)
  */
 std::string
 checkPoint(const CaseBuild &bc, const core::System &golden,
-           const CaseSpec &pt, std::uint64_t &checks, unsigned &runs)
+           const CaseSpec &pt, std::uint64_t &checks, unsigned &runs,
+           CampaignResult *capture = nullptr)
 {
     // The fault knob models a hardware bug in the victim machine only;
     // recovery always runs on correct hardware.
     core::SystemConfig vcfg = bc.cfg;
     vcfg.mc.faultReleaseEarly = pt.fault;
+    if (capture)
+        vcfg.traceEnabled = true;
 
     core::System victim(vcfg, bc.prog, bc.threads);
     ++runs;
@@ -287,6 +290,14 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
                                                     pt.drainIters);
     } else {
         vr = victim.runWithPowerFailure(pt.crashAt);
+    }
+    if (capture) {
+        if (const auto *sink = victim.traceSink())
+            capture->victimTrace = sink->snapshot();
+        if (const auto *o = victim.oracle()) {
+            for (unsigned m = 0; m < vcfg.numMcs; ++m)
+                capture->victimLastCommit.push_back(o->lastCommit(m));
+        }
     }
     if (auto e = harvestOracle(victim, "victim", checks); !e.empty())
         return e;
@@ -473,7 +484,8 @@ runCampaign(const CaseSpec &spec, const CampaignOptions &opt)
         ++res.pointsTried;
         std::string err =
             checkPoint(bc, *g.sys, spec, res.oracleChecks,
-                       res.runsExecuted);
+                       res.runsExecuted,
+                       opt.captureTrace ? &res : nullptr);
         if (!err.empty()) {
             res.passed = false;
             res.failure = err + " [" + bc.summary + "]";

@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
+#include "trace/events.hh"
 
 namespace lwsp {
 namespace fuzz {
@@ -72,6 +74,12 @@ struct CampaignOptions
     bool oracles = true;
     /** Shrink a failing case before reporting it. */
     bool shrinkOnFailure = true;
+    /**
+     * Replay path only: run the victim with the telemetry sink armed and
+     * return its event trace (and the oracle's per-MC committed-prefix
+     * view) in the CampaignResult, for `fuzz_crash --trace-out`.
+     */
+    bool captureTrace = false;
 };
 
 struct CampaignResult
@@ -84,6 +92,11 @@ struct CampaignResult
     unsigned runsExecuted = 0;
     std::uint64_t oracleChecks = 0;
     Tick goldenCycles = 0;
+
+    /** Victim-run event trace (replay path with captureTrace). */
+    std::vector<trace::Event> victimTrace;
+    /** Oracle's committed-prefix region per MC, same capture path. */
+    std::vector<RegionId> victimLastCommit;
 };
 
 /**

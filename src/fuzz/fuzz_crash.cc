@@ -4,7 +4,7 @@
  *
  *   fuzz_crash [--seeds N] [--base-seed S] [--mode wl|ir|mixed]
  *              [--crash-points N] [--jobs N] [--no-double] [--no-shrink]
- *              [--fault] [--replay SPEC]
+ *              [--fault] [--replay SPEC] [--trace-out FILE]
  *
  * Default: run N seeded campaigns (half workload-sourced, half
  * IR-sourced with --mode mixed), each injecting single and double power
@@ -16,6 +16,11 @@
  *
  * --fault arms the MC's test-only early-release fault on victim runs so
  * the oracle/shrink/replay machinery can be demonstrated on a known bug.
+ *
+ * --trace-out FILE (replay path only) re-runs the victim with the
+ * telemetry sink armed and writes its event trace in the lwsp binary
+ * format; inspect with `lwsp_trace info/dump` or convert to Perfetto
+ * JSON with `lwsp_trace convert`.
  */
 
 #include <cstdio>
@@ -28,6 +33,7 @@
 #include "common/logging.hh"
 #include "fuzz/campaign.hh"
 #include "harness/sweep.hh"
+#include "trace/export.hh"
 
 using namespace lwsp;
 
@@ -40,7 +46,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seeds N] [--base-seed S] [--mode wl|ir|mixed]\n"
         "          [--crash-points N] [--jobs N] [--no-double]\n"
-        "          [--no-shrink] [--fault] [--replay SPEC]\n",
+        "          [--no-shrink] [--fault] [--replay SPEC]\n"
+        "          [--trace-out FILE]\n",
         argv0);
     return 2;
 }
@@ -55,6 +62,7 @@ main(int argc, char **argv)
     std::string mode = "mixed";
     unsigned jobs = 0;
     std::string replay_spec;
+    std::string trace_out;
     fuzz::CampaignOptions opt;
     bool fault = false;
 
@@ -81,6 +89,8 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if (const char *v = arg("--replay")) {
             replay_spec = v;
+        } else if (const char *v = arg("--trace-out")) {
+            trace_out = v;
         } else if (std::strcmp(argv[i], "--no-double") == 0) {
             opt.doubleCrash = false;
         } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
@@ -104,6 +114,12 @@ main(int argc, char **argv)
             std::fprintf(stderr, "bad replay spec: %s\n", err.c_str());
             return 2;
         }
+        if (spec.mode == fuzz::CrashMode::None && !trace_out.empty()) {
+            std::fprintf(stderr, "--trace-out needs a crash-mode replay "
+                                 "spec (mode=single/dbl-*)\n");
+            return 2;
+        }
+        opt.captureTrace = !trace_out.empty();
         auto res = fuzz::runCampaign(spec, opt);
         std::printf("replay %s: %s (%u runs, %llu oracle checks)\n",
                     replay_spec.c_str(),
@@ -115,7 +131,20 @@ main(int argc, char **argv)
             std::printf("REPRODUCER: %s\n",
                         res.reproducer.toString().c_str());
         }
+        if (!trace_out.empty()) {
+            if (!trace::writeBinaryFile(trace_out, res.victimTrace)) {
+                std::fprintf(stderr, "trace-out failed: cannot write %s\n",
+                             trace_out.c_str());
+                return 2;
+            }
+            std::printf("victim trace (%zu events) written to %s\n",
+                        res.victimTrace.size(), trace_out.c_str());
+        }
         return res.passed ? 0 : 1;
+    }
+    if (!trace_out.empty()) {
+        std::fprintf(stderr, "--trace-out requires --replay\n");
+        return 2;
     }
 
     std::vector<fuzz::CampaignResult> results(seeds);

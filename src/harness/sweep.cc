@@ -81,6 +81,18 @@ SweepExecutor::sweep(std::size_t n, Fn &&fn)
     total_.wallSeconds += secs;
 }
 
+void
+SweepExecutor::record(Runner &runner, const RunSpec &spec)
+{
+    // Post-sweep bookkeeping on the calling thread: the memo makes the
+    // re-run instant, and serial insertion keeps the record order (and
+    // so the report file) independent of worker scheduling.
+    std::string key = specKey(spec);
+    if (!recordedKeys_.insert(key).second)
+        return;
+    records_.push_back({spec, runner.run(spec)});
+}
+
 std::vector<RunOutcome>
 SweepExecutor::runAll(Runner &runner, const std::vector<RunSpec> &specs)
 {
@@ -90,6 +102,8 @@ SweepExecutor::runAll(Runner &runner, const std::vector<RunSpec> &specs)
     for (const auto &o : out)
         last_.simulatedCycles += o.result.cycles;
     total_.simulatedCycles += last_.simulatedCycles;
+    for (const auto &s : specs)
+        record(runner, s);
     return out;
 }
 
@@ -123,6 +137,8 @@ SweepExecutor::slowdowns(Runner &runner, const std::vector<RunSpec> &specs)
     });
     last_.simulatedCycles = cycles;
     total_.simulatedCycles += cycles;
+    for (const auto &s : all)
+        record(runner, s);
     return out;
 }
 
@@ -143,6 +159,64 @@ writeSweepJson(const std::string &path, const std::string &bench,
        << stats.wallSeconds << ",\"points_per_second\":"
        << stats.pointsPerSecond() << ",\"simulated_cycles\":"
        << stats.simulatedCycles << "}\n";
+}
+
+void
+writeRunReports(const std::string &path, const std::string &bench,
+                const std::vector<RunRecord> &records,
+                const SweepStats &stats)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "error: cannot write run report to " << path << '\n';
+        return;
+    }
+    os << "{\"schema\":\"lwsp-run-report-v1\",\"bench\":\"" << bench
+       << "\",\"jobs\":" << stats.jobs << ",\"wall_seconds\":"
+       << stats.wallSeconds << ",\"runs\":[";
+    bool first = true;
+    for (const auto &rec : records) {
+        const auto &r = rec.outcome.result;
+        const auto &c = rec.outcome.compileStats;
+        os << (first ? "\n" : ",\n") << " {\"key\":\""
+           << specKey(rec.spec) << "\",\"workload\":\""
+           << rec.spec.workload << "\",\"scheme\":\""
+           << core::schemeName(rec.spec.scheme) << "\",\"threads\":"
+           << rec.outcome.threads
+           << ",\"compile\":{\"input_insts\":" << c.inputInsts
+           << ",\"output_insts\":" << c.outputInsts
+           << ",\"boundaries\":" << c.boundaries
+           << ",\"ckpt_stores\":" << c.checkpointStores
+           << ",\"pruned_ckpts\":" << c.prunedCheckpoints
+           << ",\"unrolled_loops\":" << c.unrolledLoops
+           << ",\"fixpoint_iters\":" << c.fixpointIterations
+           << "},\"result\":{\"cycles\":" << r.cycles
+           << ",\"completed\":" << (r.completed ? "true" : "false")
+           << ",\"insts_retired\":" << r.instsRetired
+           << ",\"stores_retired\":" << r.storesRetired
+           << ",\"boundaries\":" << r.boundaries
+           << ",\"ipc\":" << r.ipc
+           << ",\"boundary_wait_cycles\":" << r.boundaryWaitCycles
+           << ",\"sb_full_cycles\":" << r.sbFullCycles
+           << ",\"feb_full_cycles\":" << r.febFullCycles
+           << ",\"snoop_blocked_cycles\":" << r.snoopBlockedCycles
+           << ",\"lock_blocked_cycles\":" << r.lockBlockedCycles
+           << ",\"l1_hits\":" << r.l1Hits
+           << ",\"l1_misses\":" << r.l1Misses
+           << ",\"stale_loads\":" << r.staleLoads
+           << ",\"buffer_conflicts\":" << r.bufferConflicts
+           << ",\"diverted_victims\":" << r.divertedVictims
+           << ",\"wpq_load_hits\":" << r.wpqLoadHits
+           << ",\"wpq_flushed_entries\":" << r.wpqFlushedEntries
+           << ",\"wpq_fallback_flushes\":" << r.wpqFallbackFlushes
+           << ",\"wpq_overflow_events\":" << r.wpqOverflowEvents
+           << ",\"max_wpq_occupancy\":" << r.maxWpqOccupancy
+           << ",\"regions_committed\":" << r.regionsCommitted
+           << ",\"avg_region_insts\":" << r.avgRegionInsts
+           << ",\"avg_region_stores\":" << r.avgRegionStores << "}}";
+        first = false;
+    }
+    os << "\n]}\n";
 }
 
 } // namespace harness

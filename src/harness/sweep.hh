@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,13 @@ struct SweepStats
     }
 };
 
+/** One executed experiment point, retained for run-report emission. */
+struct RunRecord
+{
+    RunSpec spec;
+    RunOutcome outcome;
+};
+
 class SweepExecutor
 {
   public:
@@ -89,13 +97,22 @@ class SweepExecutor
     /** Telemetry accumulated over every sweep this executor ran. */
     const SweepStats &totalStats() const { return total_; }
 
+    /**
+     * Every point executed by this executor (baselines included),
+     * deduplicated by canonical spec key in first-execution order.
+     */
+    const std::vector<RunRecord> &runRecords() const { return records_; }
+
   private:
+    void record(Runner &runner, const RunSpec &spec);
     template <typename Fn>
     void sweep(std::size_t n, Fn &&fn);
 
     unsigned jobs_;
     SweepStats last_;
     SweepStats total_;
+    std::vector<RunRecord> records_;
+    std::set<std::string> recordedKeys_;
 };
 
 /**
@@ -104,6 +121,16 @@ class SweepExecutor
  */
 void writeSweepJson(const std::string &path, const std::string &bench,
                     const SweepStats &stats);
+
+/**
+ * Versioned machine-readable run report: one record per distinct
+ * simulation point with its canonical spec key, resolved configuration
+ * axes, compile stats and the full RunResult. Schema identifier
+ * "lwsp-run-report-v1"; consumers must reject unknown schema strings.
+ */
+void writeRunReports(const std::string &path, const std::string &bench,
+                     const std::vector<RunRecord> &records,
+                     const SweepStats &stats);
 
 } // namespace harness
 } // namespace lwsp

@@ -13,7 +13,11 @@ namespace {
 std::string
 regName(Reg r)
 {
-    return "r" + std::to_string(static_cast<unsigned>(r));
+    // Built via append rather than `"r" + std::to_string(...)`: GCC 12's
+    // -Wrestrict false-positives on that operator+ chain at -O2+.
+    std::string out("r");
+    out += std::to_string(static_cast<unsigned>(r));
+    return out;
 }
 
 std::string

@@ -4,6 +4,7 @@
 
 #include "mem/oracle.hh"
 #include "noc/noc.hh"
+#include "trace/sink.hh"
 
 namespace lwsp {
 namespace mem {
@@ -12,7 +13,8 @@ MemController::MemController(McId id, const McConfig &cfg, MemImage &pm,
                              noc::Noc &noc_net)
     : Clocked("mc" + std::to_string(id)), id_(id), cfg_(cfg), pm_(pm),
       noc_(noc_net), wpq_(cfg.wpqEntries),
-      dramCache_("mc" + std::to_string(id) + ".dramcache", cfg.dramCache)
+      dramCache_("mc" + std::to_string(id) + ".dramcache", cfg.dramCache),
+      wpqOccupancy_(0, static_cast<double>(cfg.wpqEntries + 1), 32)
 {
     LWSP_ASSERT(cfg.numMcs >= 1 && cfg.numMcs <= 32, "bad MC count");
 }
@@ -57,10 +59,16 @@ MemController::accept(const PersistEntry &e, Tick now)
     if (overflow)
         ++overflowEvents_;
     maxWpqOccupancy_ = std::max(maxWpqOccupancy_, wpq_.size());
+    wpqOccupancy_.sample(static_cast<double>(wpq_.size()));
     if (cfg_.oracle) {
         cfg_.oracle->onAccept(id_, e, wpq_.size(), cfg_.wpqEntries,
                               fallbackActive_, now);
     }
+    trace::emitIf<trace::Category::Wpq>(
+        cfg_.sink,
+        {now, trace::EventType::WpqEnqueue,
+         static_cast<std::int32_t>(id_), e.thread, e.region, e.addr,
+         e.value, wpq_.size()});
 }
 
 void
@@ -83,8 +91,16 @@ MemController::receive(const McMsg &msg, Tick now)
       case McMsg::Type::BdryArrival: {
         if (cfg_.oracle)
             cfg_.oracle->onBdryArrival(id_, msg.region, now);
+        trace::emitIf<trace::Category::Boundary>(
+            cfg_.sink,
+            {now, trace::EventType::BoundaryBcastRecv,
+             static_cast<std::int32_t>(id_), 0, msg.region, 0, 0,
+             msg.from});
         RegionState &st = state(msg.region);
         st.bdryArrived = true;
+        st.bdryArrivedAt = now;
+        if ((st.bdryAcks & peerMask()) == peerMask())
+            bcastLatency_.sample(0);
         if (!st.bdryAckSent) {
             st.bdryAckSent = true;
             sendToPeers(McMsg::Type::BdryAck, msg.region, now);
@@ -98,7 +114,22 @@ MemController::receive(const McMsg &msg, Tick now)
       case McMsg::Type::BdryAck:
         if (cfg_.oracle)
             cfg_.oracle->onBdryAck(id_, msg.region, msg.from);
-        state(msg.region).bdryAcks |= (1u << msg.from);
+        trace::emitIf<trace::Category::Boundary>(
+            cfg_.sink,
+            {now, trace::EventType::BoundaryAck,
+             static_cast<std::int32_t>(id_), 0, msg.region, 0, 0,
+             msg.from});
+        {
+            RegionState &st = state(msg.region);
+            bool was_complete =
+                (st.bdryAcks & peerMask()) == peerMask();
+            st.bdryAcks |= (1u << msg.from);
+            if (!was_complete && st.bdryArrived &&
+                (st.bdryAcks & peerMask()) == peerMask()) {
+                bcastLatency_.sample(
+                    static_cast<double>(now - st.bdryArrivedAt));
+            }
+        }
         break;
       case McMsg::Type::FlushAck:
         state(msg.region).flushAcks |= (1u << msg.from);
@@ -122,6 +153,10 @@ MemController::maybeAdvanceFlushId(Tick now)
         regions_.erase(it);
         if (cfg_.oracle)
             cfg_.oracle->onCommit(id_, flushId_, now);
+        trace::emitIf<trace::Category::Region>(
+            cfg_.sink,
+            {now, trace::EventType::RegionPersist,
+             static_cast<std::int32_t>(id_), 0, flushId_, 0, 0, 0});
         ++flushId_;
         ++regionsCommitted_;
     }
@@ -135,6 +170,11 @@ MemController::traceEvent(int kind, Addr addr, std::uint64_t value,
         traceHook_(kind, addr, value, region);
     if (cfg_.oracle)
         cfg_.oracle->onFlush(id_, kind, addr, value, region, now);
+    trace::emitIf<trace::Category::Wpq>(
+        cfg_.sink,
+        {now, trace::EventType::WpqRelease,
+         static_cast<std::int32_t>(id_), 0, region, addr, value,
+         trace::packReleaseAux(wpq_.size(), kind)});
 }
 
 void
@@ -183,6 +223,10 @@ MemController::finishLocalFlush(RegionId r, Tick now)
         return;
     st.localFlushDone = true;
     st.flushAcks |= (1u << id_);
+    trace::emitIf<trace::Category::Wpq>(
+        cfg_.sink,
+        {now, trace::EventType::WpqDrainDone,
+         static_cast<std::int32_t>(id_), 0, r, 0, 0, wpq_.size()});
     sendToPeers(McMsg::Type::FlushAck, r, now);
     maybeAdvanceFlushId(now);
 }

@@ -22,6 +22,7 @@
 #include <map>
 #include <vector>
 
+#include "common/stats.hh"
 #include "mem/cache.hh"
 #include "mem/mem_image.hh"
 #include "mem/persist.hh"
@@ -32,6 +33,10 @@ namespace lwsp {
 namespace noc {
 class Noc;
 } // namespace noc
+
+namespace trace {
+class TraceSink;
+} // namespace trace
 
 namespace mem {
 
@@ -73,6 +78,13 @@ struct McConfig
      * invariant oracle. Null (the default) keeps the hooks zero-cost.
      */
     LrpoOracle *oracle = nullptr;
+    /**
+     * When non-null, protocol events (WPQ enqueue/release/drain,
+     * boundary arrival/ACK, region commit) are emitted to the telemetry
+     * sink. Null (the default) keeps the hooks zero-cost, exactly like
+     * the oracle pointer above.
+     */
+    trace::TraceSink *sink = nullptr;
     /**
      * Test-only fault knob: release one store of a not-yet-closed region
      * to PM ahead of its boundary, without undo logging. Exists solely to
@@ -165,6 +177,9 @@ class MemController : public Clocked, public McEndpoint
         wpqLoadHits_ = loadMisses_ = flushedEntries_ = 0;
         fallbackFlushes_ = overflowEvents_ = regionsCommitted_ = 0;
         maxWpqOccupancy_ = 0;
+        wpqOccupancy_.reset();
+        bcastLatency_.reset();
+        wpq_.resetStats();
         dramCache_.resetStats();
     }
 
@@ -176,6 +191,21 @@ class MemController : public Clocked, public McEndpoint
     std::uint64_t regionsCommitted() const { return regionsCommitted_; }
     std::size_t maxWpqOccupancy() const { return maxWpqOccupancy_; }
 
+    /** WPQ occupancy sampled at every enqueue (fig 11/18 input). */
+    const stats::Distribution &wpqOccupancy() const
+    {
+        return wpqOccupancy_;
+    }
+
+    /**
+     * Cycles from a boundary's arrival at this MC to its full bdry-ACK
+     * round (when the region becomes flush-eligible, §IV-B).
+     */
+    const stats::Distribution &bcastLatency() const
+    {
+        return bcastLatency_;
+    }
+
   private:
     struct RegionState
     {
@@ -184,6 +214,7 @@ class MemController : public Clocked, public McEndpoint
         std::uint32_t flushAcks = 0;  ///< bitmask incl. self
         bool localFlushDone = false;
         bool bdryAckSent = false;
+        Tick bdryArrivedAt = 0;       ///< stats-only (bcastLatency)
     };
 
     RegionState &state(RegionId r) { return regions_[r]; }
@@ -250,6 +281,8 @@ class MemController : public Clocked, public McEndpoint
     std::map<Addr, Shadow> shadows_;
 
     FlushTraceHook traceHook_;
+    stats::Distribution wpqOccupancy_;
+    stats::Distribution bcastLatency_{0, 4096, 32};
     std::uint64_t wpqLoadHits_ = 0;
     std::uint64_t loadMisses_ = 0;
     std::uint64_t flushedEntries_ = 0;

@@ -118,6 +118,14 @@ class LrpoOracle
     const std::vector<Tick> &flushTicks() const { return flushTicks_; }
     const std::vector<Tick> &commitTicks() const { return commitTicks_; }
 
+    /** Highest region MC @p mc has committed (0 when none). */
+    RegionId
+    lastCommit(McId mc) const
+    {
+        auto it = mcs_.find(mc);
+        return it == mcs_.end() ? 0 : it->second.lastCommit;
+    }
+
   private:
     void violate(Tick now, const std::string &what);
 

@@ -44,6 +44,7 @@ class Wpq
         LWSP_ASSERT(allow_overflow || !full(),
                     "WPQ overflow without fallback");
         entries_.push_back(e);
+        ++pushes_;
     }
 
     /** Pop the overall oldest entry (ungated FIFO mode). */
@@ -54,6 +55,7 @@ class Wpq
             return std::nullopt;
         PersistEntry e = entries_.front();
         entries_.pop_front();
+        ++pops_;
         return e;
     }
 
@@ -64,9 +66,12 @@ class Wpq
     std::optional<std::uint64_t>
     search(Addr addr) const
     {
+        ++searches_;
         for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-            if (it->addr == addr)
+            if (it->addr == addr) {
+                ++searchHits_;
                 return it->value;
+            }
         }
         return std::nullopt;
     }
@@ -112,6 +117,7 @@ class Wpq
             if (it->region == r) {
                 PersistEntry e = *it;
                 entries_.erase(it);
+                ++pops_;
                 return e;
             }
         }
@@ -144,9 +150,27 @@ class Wpq
 
     void clear() { entries_.clear(); }
 
+    // ---- Statistics ------------------------------------------------------
+    std::uint64_t pushes() const { return pushes_; }
+    std::uint64_t pops() const { return pops_; }
+    std::uint64_t searches() const { return searches_; }
+    std::uint64_t searchHits() const { return searchHits_; }
+
+    void
+    resetStats()
+    {
+        pushes_ = pops_ = searches_ = searchHits_ = 0;
+    }
+
   private:
     std::size_t capacity_;
     std::deque<PersistEntry> entries_;
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+    // CAM-port activity counters; search() is const (a lookup), the
+    // counters are bookkeeping.
+    mutable std::uint64_t searches_ = 0;
+    mutable std::uint64_t searchHits_ = 0;
 };
 
 } // namespace mem

@@ -1,0 +1,60 @@
+#include "trace/events.hh"
+
+#include <cstring>
+#include <initializer_list>
+
+namespace lwsp {
+namespace trace {
+
+const char *
+eventTypeName(EventType t)
+{
+    switch (t) {
+      case EventType::RegionBegin: return "region-begin";
+      case EventType::RegionClose: return "region-close";
+      case EventType::RegionPersist: return "region-persist";
+      case EventType::BoundaryBcastSend: return "bdry-send";
+      case EventType::BoundaryBcastRecv: return "bdry-recv";
+      case EventType::BoundaryAck: return "bdry-ack";
+      case EventType::WpqEnqueue: return "wpq-enqueue";
+      case EventType::WpqRelease: return "wpq-release";
+      case EventType::WpqDrainDone: return "wpq-drain-done";
+      case EventType::CacheWriteback: return "cache-writeback";
+      case EventType::CheckpointStore: return "ckpt-store";
+      case EventType::PowerFailure: return "power-failure";
+      case EventType::CrashDrainEnd: return "crash-drain-end";
+      case EventType::Recovery: return "recovery";
+      case EventType::CtxSwitch: return "ctx-switch";
+    }
+    return "<bad>";
+}
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Region: return "region";
+      case Category::Boundary: return "boundary";
+      case Category::Wpq: return "wpq";
+      case Category::Cache: return "cache";
+      case Category::Checkpoint: return "checkpoint";
+      case Category::Power: return "power";
+      case Category::Sched: return "sched";
+    }
+    return "<bad>";
+}
+
+std::uint32_t
+parseCategory(const char *name)
+{
+    for (Category c : {Category::Region, Category::Boundary, Category::Wpq,
+                       Category::Cache, Category::Checkpoint,
+                       Category::Power, Category::Sched}) {
+        if (std::strcmp(name, categoryName(c)) == 0)
+            return categoryBit(c);
+    }
+    return 0;
+}
+
+} // namespace trace
+} // namespace lwsp

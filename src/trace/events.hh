@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Typed simulator events: the vocabulary of the telemetry subsystem.
+ *
+ * Every figure in the paper is a projection of these events — region
+ * lifetimes (tab VG3), WPQ occupancy over time (figs 11/18), boundary
+ * broadcast latency (fig 7's LRPO stalls) — so they are first-class:
+ * fixed-size PODs a component can emit in a couple of stores, cheap
+ * enough to leave compiled in and gate at run time (the LRPO-oracle
+ * discipline), yet carrying enough identity (unit, thread, region,
+ * address) for the exporters to rebuild per-core span tracks and
+ * per-MC counter tracks without any component-specific knowledge.
+ *
+ * Categories are bit flags. A compile-time mask (LWSP_TRACE_MASK) can
+ * remove whole categories from the binary; the run-time sink mask
+ * filters what remains. Both default to everything.
+ */
+
+#ifndef LWSP_TRACE_EVENTS_HH
+#define LWSP_TRACE_EVENTS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace lwsp {
+namespace trace {
+
+/** Event categories (bit flags; combine with |). */
+enum class Category : std::uint32_t
+{
+    Region     = 1u << 0,  ///< region begin/close/persist lifecycle
+    Boundary   = 1u << 1,  ///< boundary broadcast send/arrive/ack
+    Wpq        = 1u << 2,  ///< WPQ enqueue/release/drain
+    Cache      = 1u << 3,  ///< cache writebacks
+    Checkpoint = 1u << 4,  ///< compiler checkpoint stores reaching PM path
+    Power      = 1u << 5,  ///< power failure, crash drain, recovery
+    Sched      = 1u << 6,  ///< context switches
+};
+
+constexpr std::uint32_t allCategories = 0x7fu;
+
+constexpr std::uint32_t
+categoryBit(Category c)
+{
+    return static_cast<std::uint32_t>(c);
+}
+
+/**
+ * Compile-time category mask. Define LWSP_TRACE_MASK to a reduced mask
+ * to compile categories out entirely (their emit sites fold to nothing
+ * under constant propagation); the default keeps everything and leaves
+ * filtering to the run-time gate.
+ */
+#ifndef LWSP_TRACE_MASK
+#define LWSP_TRACE_MASK ::lwsp::trace::allCategories
+#endif
+
+constexpr bool
+categoryCompiled(Category c)
+{
+    return (static_cast<std::uint32_t>(LWSP_TRACE_MASK) &
+            categoryBit(c)) != 0;
+}
+
+/** Concrete event types (each belongs to exactly one Category). */
+enum class EventType : std::uint8_t
+{
+    // Category::Region
+    RegionBegin,      ///< thread enters a fresh region (unit=core)
+    RegionClose,      ///< boundary retired, region closed (unit=core)
+    RegionPersist,    ///< region committed: MC flush-ID advance (unit=mc)
+
+    // Category::Boundary
+    BoundaryBcastSend,  ///< boundary exited a core's persist path
+    BoundaryBcastRecv,  ///< broadcast delivered at an MC (unit=mc)
+    BoundaryAck,        ///< peer bdry-ACK received (unit=mc, aux=from)
+
+    // Category::Wpq
+    WpqEnqueue,       ///< entry accepted (unit=mc, aux=occupancy after)
+    WpqRelease,       ///< entry released to PM (aux packs occupancy/kind)
+    WpqDrainDone,     ///< local flush of a region finished (unit=mc)
+
+    // Category::Cache
+    CacheWriteback,   ///< dirty line displaced (unit=core, -1 for L2)
+
+    // Category::Checkpoint
+    CheckpointStore,  ///< CkptStore retired (unit=core, addr=slot)
+
+    // Category::Power
+    PowerFailure,     ///< power lost; §IV-F crash drain starts
+    CrashDrainEnd,    ///< crash drain reached quiescence
+    Recovery,         ///< successor system built from the PM image
+
+    // Category::Sched
+    CtxSwitch,        ///< core switched threads (unit=core)
+};
+
+constexpr std::uint8_t numEventTypes =
+    static_cast<std::uint8_t>(EventType::CtxSwitch) + 1;
+
+/** The Category an EventType belongs to. */
+constexpr Category
+categoryOf(EventType t)
+{
+    switch (t) {
+      case EventType::RegionBegin:
+      case EventType::RegionClose:
+      case EventType::RegionPersist:
+        return Category::Region;
+      case EventType::BoundaryBcastSend:
+      case EventType::BoundaryBcastRecv:
+      case EventType::BoundaryAck:
+        return Category::Boundary;
+      case EventType::WpqEnqueue:
+      case EventType::WpqRelease:
+      case EventType::WpqDrainDone:
+        return Category::Wpq;
+      case EventType::CacheWriteback:
+        return Category::Cache;
+      case EventType::CheckpointStore:
+        return Category::Checkpoint;
+      case EventType::PowerFailure:
+      case EventType::CrashDrainEnd:
+      case EventType::Recovery:
+        return Category::Power;
+      case EventType::CtxSwitch:
+        return Category::Sched;
+    }
+    return Category::Power;
+}
+
+const char *eventTypeName(EventType t);
+const char *categoryName(Category c);
+
+/** Parse "region", "wpq", ... (case-sensitive); 0 on failure. */
+std::uint32_t parseCategory(const char *name);
+
+/**
+ * One telemetry event. Fixed layout, no pointers: the binary format
+ * serializes these field by field and the ring buffer stores them by
+ * value. `unit` is the emitting core or MC index (the event type
+ * disambiguates which), -1 when not applicable.
+ */
+struct Event
+{
+    Tick tick = 0;
+    EventType type = EventType::RegionBegin;
+    std::int32_t unit = -1;
+    ThreadId thread = 0;
+    RegionId region = invalidRegion;
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    /**
+     * Type-specific payload: WPQ occupancy after enqueue/release (the
+     * counter-track source), release kind in the high byte for
+     * WpqRelease (0 normal, 1 fallback, 2 shadow-absorbed, 3 undo
+     * restore), sender MC for BoundaryAck, incoming thread for
+     * CtxSwitch.
+     */
+    std::uint64_t aux = 0;
+};
+
+/** Pack/unpack the WpqRelease aux field (occupancy + release kind). */
+constexpr std::uint64_t
+packReleaseAux(std::size_t occupancy, int kind)
+{
+    return (static_cast<std::uint64_t>(kind) << 56) |
+           (static_cast<std::uint64_t>(occupancy) & 0x00ff'ffff'ffff'ffffull);
+}
+
+constexpr int
+releaseKind(std::uint64_t aux)
+{
+    return static_cast<int>(aux >> 56);
+}
+
+constexpr std::uint64_t
+releaseOccupancy(std::uint64_t aux)
+{
+    return aux & 0x00ff'ffff'ffff'ffffull;
+}
+
+} // namespace trace
+} // namespace lwsp
+
+#endif // LWSP_TRACE_EVENTS_HH

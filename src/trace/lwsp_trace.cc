@@ -1,0 +1,178 @@
+/**
+ * @file
+ * lwsp_trace — inspect, filter and convert binary simulator traces.
+ *
+ *   lwsp_trace info    run.lwsptrc
+ *   lwsp_trace dump    run.lwsptrc [--category wpq ...]
+ *   lwsp_trace convert run.lwsptrc run.json [--category ...]
+ *   lwsp_trace filter  run.lwsptrc out.lwsptrc --category region ...
+ *
+ * `convert` writes Chrome/Perfetto trace_event JSON loadable at
+ * https://ui.perfetto.dev. `--category` may repeat; when present only
+ * the named categories survive.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/export.hh"
+
+namespace {
+
+using namespace lwsp;
+using namespace lwsp::trace;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage: lwsp_trace <command> [args]\n"
+        "  info    <in.lwsptrc>                  summary: counts, tick "
+        "range, units\n"
+        "  dump    <in.lwsptrc> [--category C]   one line per event\n"
+        "  convert <in.lwsptrc> <out.json> [--category C]\n"
+        "                                        Perfetto trace_event "
+        "JSON\n"
+        "  filter  <in.lwsptrc> <out.lwsptrc> --category C [...]\n"
+        "                                        keep only listed "
+        "categories\n"
+        "categories: region boundary wpq cache checkpoint power sched\n");
+    return 2;
+}
+
+/** Collect --category flags; @return ~0u if none given (keep all). */
+bool
+parseMask(int argc, char **argv, int firstOpt, std::uint32_t &mask)
+{
+    mask = 0;
+    bool any = false;
+    for (int i = firstOpt; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--category") != 0) {
+            std::fprintf(stderr, "lwsp_trace: unknown option %s\n",
+                         argv[i]);
+            return false;
+        }
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "lwsp_trace: --category needs a name\n");
+            return false;
+        }
+        std::uint32_t bit = parseCategory(argv[++i]);
+        if (bit == 0) {
+            std::fprintf(stderr, "lwsp_trace: unknown category '%s'\n",
+                         argv[i]);
+            return false;
+        }
+        mask |= bit;
+        any = true;
+    }
+    if (!any)
+        mask = allCategories;
+    return true;
+}
+
+bool
+load(const char *path, std::vector<Event> &events)
+{
+    std::string err;
+    if (!readBinaryFile(path, events, err)) {
+        std::fprintf(stderr, "lwsp_trace: %s: %s\n", path, err.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+cmdInfo(const char *path)
+{
+    std::vector<Event> events;
+    if (!load(path, events))
+        return 1;
+    TraceSummary s = summarize(events);
+    std::printf("file:    %s\n", path);
+    std::printf("events:  %zu\n", s.events);
+    std::printf("ticks:   [%llu, %llu]\n",
+                static_cast<unsigned long long>(s.firstTick),
+                static_cast<unsigned long long>(s.lastTick));
+    std::printf("cores:   %u\n", s.numCores);
+    std::printf("mcs:     %u\n", s.numMcs);
+    for (std::uint8_t t = 0; t < numEventTypes; ++t) {
+        if (s.perType[t] == 0)
+            continue;
+        auto type = static_cast<EventType>(t);
+        std::printf("  %-16s %10zu  (%s)\n", eventTypeName(type),
+                    s.perType[t], categoryName(categoryOf(type)));
+    }
+    return 0;
+}
+
+int
+cmdDump(int argc, char **argv)
+{
+    std::uint32_t mask;
+    if (!parseMask(argc, argv, 3, mask))
+        return 2;
+    std::vector<Event> events;
+    if (!load(argv[2], events))
+        return 1;
+    writeText(std::cout, filterByMask(events, mask));
+    return 0;
+}
+
+int
+cmdConvert(int argc, char **argv)
+{
+    std::uint32_t mask;
+    if (!parseMask(argc, argv, 4, mask))
+        return 2;
+    std::vector<Event> events;
+    if (!load(argv[2], events))
+        return 1;
+    if (!writePerfettoFile(argv[3], filterByMask(events, mask))) {
+        std::fprintf(stderr, "lwsp_trace: cannot write %s\n", argv[3]);
+        return 1;
+    }
+    std::printf("wrote %s (%zu events) — load at https://ui.perfetto.dev\n",
+                argv[3], events.size());
+    return 0;
+}
+
+int
+cmdFilter(int argc, char **argv)
+{
+    std::uint32_t mask;
+    if (!parseMask(argc, argv, 4, mask))
+        return 2;
+    std::vector<Event> events;
+    if (!load(argv[2], events))
+        return 1;
+    std::vector<Event> kept = filterByMask(events, mask);
+    if (!writeBinaryFile(argv[3], kept)) {
+        std::fprintf(stderr, "lwsp_trace: cannot write %s\n", argv[3]);
+        return 1;
+    }
+    std::printf("wrote %s (%zu of %zu events)\n", argv[3], kept.size(),
+                events.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const char *cmd = argv[1];
+    if (std::strcmp(cmd, "info") == 0 && argc == 3)
+        return cmdInfo(argv[2]);
+    if (std::strcmp(cmd, "dump") == 0)
+        return cmdDump(argc, argv);
+    if (std::strcmp(cmd, "convert") == 0 && argc >= 4)
+        return cmdConvert(argc, argv);
+    if (std::strcmp(cmd, "filter") == 0 && argc >= 4)
+        return cmdFilter(argc, argv);
+    return usage();
+}

@@ -344,9 +344,10 @@ TEST(Splitting, BoundariesBecomePenultimate)
     for (BlockId b = 0; b < f.numBlocks(); ++b) {
         const auto &insts = f.block(b).insts();
         for (std::size_t i = 0; i < insts.size(); ++i) {
-            if (insts[i].op == Opcode::Boundary)
+            if (insts[i].op == Opcode::Boundary) {
                 EXPECT_EQ(i + 2, insts.size())
                     << "boundary not penultimate in block " << b;
+            }
         }
     }
 }

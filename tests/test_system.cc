@@ -69,12 +69,15 @@ TEST(System, SchemeDefaultsAreConsistent)
         cfg.scheme = s;
         cfg.applySchemeDefaults();
         EXPECT_EQ(cfg.core.persistPathEnabled, schemeHasPersistPath(s));
-        if (s == Scheme::LightWsp || s == Scheme::NaiveSfence)
+        if (s == Scheme::LightWsp || s == Scheme::NaiveSfence) {
             EXPECT_EQ(cfg.mc.gatingEnabled, s == Scheme::LightWsp);
-        if (s == Scheme::PspIdeal)
+        }
+        if (s == Scheme::PspIdeal) {
             EXPECT_FALSE(cfg.mc.dramCacheEnabled);
-        if (s == Scheme::Capri)
+        }
+        if (s == Scheme::Capri) {
             EXPECT_DOUBLE_EQ(cfg.core.trafficAmplification, 8.0);
+        }
     }
 }
 
