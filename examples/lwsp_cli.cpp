@@ -12,6 +12,13 @@
  * with lwsp_trace, convert to Perfetto JSON with `lwsp_trace convert`)
  * and `--stats-json FILE` (full component stat registry as JSON).
  *
+ * `run` and `crash` accept `--faults SPEC` (fault/fault.hh k=v,k=v
+ * string, e.g. `seed=7,loss=100` or `ckpt=1`): the machine runs with
+ * the hardware fault layer armed and hardened checkpoints. `crash`
+ * then recovers through System::recoverChecked and prints the
+ * recovery verdict and the crash drain's fault report; exit status 3
+ * means the injected fault was detected but unrecoverable.
+ *
  * Schemes: baseline psp-ideal lightwsp naive-sfence ppa capri cwsp.
  * `<file.lir>` is the textual LightIR format (see ir/text_io.hh).
  */
@@ -40,9 +47,21 @@ usage()
                  "usage: lwsp_cli list\n"
                  "       lwsp_cli compile <app|file.lir>\n"
                  "       lwsp_cli run <app> [scheme] [--trace-out FILE]"
-                 " [--stats-json FILE]\n"
-                 "       lwsp_cli crash <app> <fraction 0..1>\n");
+                 " [--stats-json FILE] [--faults SPEC]\n"
+                 "       lwsp_cli crash <app> <fraction 0..1>"
+                 " [--faults SPEC]\n");
     return 2;
+}
+
+/** Parse a --faults spec into @p cfg (arming the layer), or die. */
+void
+applyFaultSpec(core::SystemConfig &cfg, const std::string &spec)
+{
+    std::string err;
+    if (!fault::FaultConfig::parse(spec, cfg.faults, err))
+        fatal("bad --faults spec: ", err);
+    cfg.faults.enabled = true;
+    cfg.faults.hardenedCkpt = true;
 }
 
 core::Scheme
@@ -151,13 +170,14 @@ printRunStats(const std::string &scheme_name, unsigned threads,
 
 int
 cmdRun(const std::string &app, const std::string &scheme_name,
-       const std::string &trace_out, const std::string &stats_json)
+       const std::string &trace_out, const std::string &stats_json,
+       const std::string &faults_spec)
 {
     harness::RunSpec spec;
     spec.workload = app;
     spec.scheme = schemeFromName(scheme_name);
 
-    if (trace_out.empty() && stats_json.empty()) {
+    if (trace_out.empty() && stats_json.empty() && faults_spec.empty()) {
         harness::Runner runner;
         auto o = runner.run(spec);
         printRunStats(scheme_name, o.threads, o.result);
@@ -179,12 +199,25 @@ cmdRun(const std::string &app, const std::string &scheme_name,
         w.estimatedInstsPerThread * profile.threads * 35 / 100;
     if (!trace_out.empty())
         cfg.traceEnabled = true;
+    if (!faults_spec.empty())
+        applyFaultSpec(cfg, faults_spec);
     compiler::CompiledProgram prog =
         harness::prepareProgram(std::move(w), spec);
 
     core::System sys(cfg, prog, profile.threads);
     auto r = sys.run();
     printRunStats(scheme_name, profile.threads, r);
+
+    if (const auto *inj = sys.faultInjector()) {
+        std::printf("faults        %s\n",
+                    inj->config().toString().c_str());
+        std::printf("bcast faults  drops=%llu delays=%llu dups=%llu "
+                    "retries=%llu\n",
+                    static_cast<unsigned long long>(inj->bcastDrops),
+                    static_cast<unsigned long long>(inj->bcastDelays),
+                    static_cast<unsigned long long>(inj->bcastDups),
+                    static_cast<unsigned long long>(inj->bcastRetries));
+    }
 
     if (!trace_out.empty()) {
         const auto *sink = sys.traceSink();
@@ -216,7 +249,8 @@ cmdRun(const std::string &app, const std::string &scheme_name,
 }
 
 int
-cmdCrash(const std::string &app, double fraction)
+cmdCrash(const std::string &app, double fraction,
+         const std::string &faults_spec)
 {
     const auto &profile = workloads::profileByName(app);
     auto w = workloads::generate(profile);
@@ -231,7 +265,16 @@ cmdCrash(const std::string &app, double fraction)
     core::System golden(cfg, prog, profile.threads);
     auto gr = golden.run();
 
-    core::System victim(cfg, prog, profile.threads);
+    // Faults arm the victim only; recovery runs on correct hardware but
+    // keeps the hardened checkpoint format so it can verify checksums.
+    core::SystemConfig vcfg = cfg;
+    core::SystemConfig rcfg = cfg;
+    if (!faults_spec.empty()) {
+        applyFaultSpec(vcfg, faults_spec);
+        rcfg.faults.hardenedCkpt = true;
+    }
+
+    core::System victim(vcfg, prog, profile.threads);
     auto vr = victim.runWithPowerFailure(
         static_cast<Tick>(fraction * static_cast<double>(gr.cycles)));
     if (vr.completed) {
@@ -240,14 +283,37 @@ cmdCrash(const std::string &app, double fraction)
     }
     std::printf("crashed at cycle %llu; recovering...\n",
                 static_cast<unsigned long long>(vr.cycles));
-    auto rec = core::System::recover(cfg, prog, profile.threads,
-                                     victim.pmImage(), lock_addrs);
-    auto rr = rec->run();
+    const core::CrashReport &cr = victim.crashReport();
+    if (cr.faultsArmed) {
+        std::printf("crash report  wpqDamaged=%u poisoned=%u "
+                    "silentFlips=%u stalls=%u retries=%llu "
+                    "lostAtCrash=%llu\n",
+                    cr.wpqDamaged, cr.poisonedWords, cr.silentFlips,
+                    cr.stallsInjected,
+                    static_cast<unsigned long long>(cr.bcastRetries),
+                    static_cast<unsigned long long>(cr.bcastLostAtCrash));
+        if (cr.corruptBarrier != invalidRegion)
+            std::printf("crash report  corrupt barrier at region %llu%s\n",
+                        static_cast<unsigned long long>(cr.corruptBarrier),
+                        cr.truncationHazard ? " (truncation hazard)" : "");
+    }
+
+    auto recres = core::System::recoverChecked(
+        rcfg, prog, profile.threads, victim.pmImage(), lock_addrs, &cr);
+    std::printf("verdict       %s%s%s\n",
+                core::recoveryOutcomeName(recres.outcome),
+                recres.detail.empty() ? "" : ": ",
+                recres.detail.c_str());
+    if (recres.outcome == core::RecoveryOutcome::DetectedUnrecoverable)
+        return 3;
+
+    auto rr = recres.sys->run();
     Addr lo = workloads::Workload::heapBase;
     Addr hi = lo + static_cast<Addr>(profile.threads) *
                        profile.footprintBytes;
     bool ok = rr.completed &&
-              rec->pmImage().diffInRange(golden.pmImage(), lo, hi)
+              recres.sys->pmImage()
+                  .diffInRange(golden.pmImage(), lo, hi)
                   .empty();
     std::printf("recovery %s: application state %s the crash-free run\n",
                 rr.completed ? "completed" : "DID NOT COMPLETE",
@@ -271,6 +337,7 @@ main(int argc, char **argv)
             return cmdCompile(argv[2]);
         if (cmd == "run" && argc >= 3) {
             std::string scheme = "lightwsp", trace_out, stats_json;
+            std::string faults;
             int i = 3;
             if (i < argc && argv[i][0] != '-')
                 scheme = argv[i++];
@@ -280,13 +347,24 @@ main(int argc, char **argv)
                     trace_out = argv[++i];
                 else if (a == "--stats-json" && i + 1 < argc)
                     stats_json = argv[++i];
+                else if (a == "--faults" && i + 1 < argc)
+                    faults = argv[++i];
                 else
                     return usage();
             }
-            return cmdRun(argv[2], scheme, trace_out, stats_json);
+            return cmdRun(argv[2], scheme, trace_out, stats_json, faults);
         }
-        if (cmd == "crash" && argc == 4)
-            return cmdCrash(argv[2], std::atof(argv[3]));
+        if (cmd == "crash" && argc >= 4) {
+            std::string faults;
+            for (int i = 4; i < argc; ++i) {
+                std::string a = argv[i];
+                if (a == "--faults" && i + 1 < argc)
+                    faults = argv[++i];
+                else
+                    return usage();
+            }
+            return cmdCrash(argv[2], std::atof(argv[3]), faults);
+        }
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -4,7 +4,8 @@
 # per-bench telemetry into one BENCH_sweep.json.
 #
 #   scripts/bench_all.sh [--quick] [--jobs N] [--build-dir DIR]
-#                        [--out-dir DIR] [--speedup] [--fuzz] [--trace]
+#                        [--out-dir DIR] [--speedup] [--fuzz] [--faults]
+#                        [--trace]
 #
 #   --quick      one representative app per suite (fast smoke pass)
 #   --jobs N     sweep worker threads per bench (default: all cores)
@@ -19,6 +20,9 @@
 #   --fuzz       additionally run the long crash-consistency fuzzing
 #                campaign (the -DLWSP_FUZZ_TESTS=ON tier: hundreds of
 #                seeds; budget tens of minutes)
+#   --faults     additionally run the seeded hardware fault-injection
+#                campaign (every fault axis in rotation, hardened
+#                recovery; deterministic, finishes in seconds)
 #
 # CSV checking: quick-mode rows are a subset of the full reference
 # tables, so each emitted row is compared against the same-named row in
@@ -32,6 +36,7 @@ QUICK=""
 JOBS=0
 SPEEDUP=0
 FUZZ=0
+FAULTS=0
 TRACE=0
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build"
@@ -45,9 +50,11 @@ while [ $# -gt 0 ]; do
         --out-dir) OUT_DIR="$2"; shift ;;
         --speedup) SPEEDUP=1 ;;
         --fuzz) FUZZ=1 ;;
+        --faults) FAULTS=1 ;;
         --trace) TRACE=1 ;;
         *) echo "usage: $0 [--quick] [--jobs N] [--build-dir DIR]" \
-                "[--out-dir DIR] [--speedup] [--fuzz] [--trace]" >&2
+                "[--out-dir DIR] [--speedup] [--fuzz] [--faults]" \
+                "[--trace]" >&2
            exit 2 ;;
     esac
     shift
@@ -184,6 +191,26 @@ if [ "$TRACE" = 1 ]; then
     else
         echo "  TRACE SMOKE FAILED (log: $OUT_DIR/trace_smoke.txt)"
         FAILED=1
+    fi
+fi
+
+if [ "$FAULTS" = 1 ]; then
+    FC="$BUILD_DIR/src/fuzz/fuzz_crash"
+    [ -x "$FC" ] || FC="$(find "$BUILD_DIR" -name fuzz_crash -type f \
+                          -perm -u+x | head -1)"
+    if [ -z "$FC" ] || [ ! -x "$FC" ]; then
+        echo "error: fuzz_crash binary not found under $BUILD_DIR" >&2
+        FAILED=1
+    else
+        echo "== fault-injection campaign (6 seeds x all axes)"
+        if "$FC" --seeds 6 --base-seed 1 --crash-points 6 --faults \
+                | tee "$OUT_DIR/fault_campaign.txt" | tail -4; then
+            echo "  fault campaign clean (no silent corruption)"
+        else
+            echo "  FAULT CAMPAIGN FAILED (reproducer spec above," \
+                 "full log: $OUT_DIR/fault_campaign.txt)"
+            FAILED=1
+        fi
     fi
 fi
 

@@ -22,6 +22,18 @@ schemeName(Scheme s)
     return "<bad>";
 }
 
+const char *
+recoveryOutcomeName(RecoveryOutcome o)
+{
+    switch (o) {
+      case RecoveryOutcome::Recovered: return "recovered";
+      case RecoveryOutcome::RecoveredDegraded: return "recovered-degraded";
+      case RecoveryOutcome::DetectedUnrecoverable:
+        return "detected-unrecoverable";
+    }
+    return "<bad>";
+}
+
 System::System(const SystemConfig &cfg,
                const compiler::CompiledProgram &program,
                unsigned num_threads)
@@ -55,6 +67,13 @@ System::System(const SystemConfig &cfg,
         cfg_.core.sink = traceSink_.get();
     }
 
+    if (cfg_.faults.enabled) {
+        faultInjector_ = std::make_unique<fault::FaultInjector>(
+            cfg_.faults, cfg_.seed);
+        noc_.setFaultInjector(faultInjector_.get());
+        noc_.setTraceSink(traceSink_.get());
+    }
+
     std::vector<mem::McEndpoint *> endpoints;
     for (McId m = 0; m < cfg_.numMcs; ++m) {
         mcs_.push_back(std::make_unique<mem::MemController>(
@@ -81,6 +100,7 @@ System::System(const SystemConfig &cfg,
     for (ThreadId t = 0; t < num_threads; ++t) {
         threads_.push_back(std::make_unique<cpu::ThreadContext>(
             program_, t, execMem_, locks_, regionAlloc_));
+        threads_.back()->setHardenedCkpt(cfg_.faults.hardenedCkpt);
         threads_.back()->reset(0);
         // Each thread's first region opens at cycle 0 on its home core;
         // later begins are emitted at boundary retirement.
@@ -279,6 +299,12 @@ System::executeCrashDrain(Tick now, int interrupt_after)
     // Step 1: in-flight MC-to-MC ACKs are guaranteed delivery by the
     // MC-resident battery; everything on core persist paths dies.
     noc_.deliverAllNow(now);
+    // Crash-time hardware faults land now, once — on a double failure
+    // the second drain resumes against the already-damaged state.
+    if (faultInjector_ && !crashFaultsInjected_) {
+        crashFaultsInjected_ = true;
+        injectCrashFaults(now);
+    }
     // Steps 2-5: iterate flush/ACK exchange to quiescence.
     bool progress = true;
     int iters = 0;
@@ -295,10 +321,167 @@ System::executeCrashDrain(Tick now, int interrupt_after)
     // fallback overflow of a region that never became ready).
     for (auto &mc : mcs_)
         mc->crashFinish(now);
+    // PM media faults (poison, silent flips) surface against the final
+    // post-drain image: that is what recovery will read.
+    if (faultInjector_) {
+        injectPostDrainFaults(now);
+        crashReport_.bcastRetries = faultInjector_->bcastRetries;
+        crashReport_.bcastLostAtCrash = faultInjector_->bcastLostAtCrash;
+    }
     trace::emitIf<trace::Category::Power>(
         traceSink_.get(),
         {now, trace::EventType::CrashDrainEnd, -1, 0, invalidRegion, 0, 0,
          static_cast<std::uint64_t>(iters)});
+}
+
+/**
+ * Crash-time faults that live in the battery-backed hardware itself:
+ * WPQ entry damage (bit flips / torn writes, optionally pinned to a
+ * checkpoint-area entry) and MC drain stalls. Damage is ECC-detected,
+ * so the drain computes a global corruption barrier — the lowest
+ * damaged region across all MCs — and truncates there; if some MC has
+ * already normally flushed (or committed) a region at/above the
+ * barrier, truncation would leave a partial region in PM, and the image
+ * is flagged detected-unrecoverable instead.
+ */
+void
+System::injectCrashFaults(Tick now)
+{
+    fault::FaultInjector &inj = *faultInjector_;
+    const fault::FaultConfig &fc = inj.config();
+    crashReport_.faultsArmed = true;
+
+    // --- WPQ entry damage -------------------------------------------------
+    std::vector<int> kinds;  // 1 = bit flip, 2 = torn write
+    if (fc.wpqBitFlip)
+        kinds.push_back(1);
+    if (fc.wpqTear)
+        kinds.push_back(2);
+    if (fc.ckptEntryDamage && kinds.empty())
+        kinds.push_back(1);
+
+    Addr ckpt_lo = program_.layout.base;
+    Addr ckpt_hi = ckpt_lo + static_cast<Addr>(threads_.size()) *
+                                 program_.layout.threadStride;
+    for (int kind : kinds) {
+        std::vector<std::pair<McId, std::size_t>> cands;
+        for (McId m = 0; m < mcs_.size(); ++m) {
+            mem::Wpq &w = mcs_[m]->wpqMutable();
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                const mem::PersistEntry &e = w.entryAt(i);
+                if (e.ecc != 0)
+                    continue;  // one fault per entry
+                bool in_ckpt = e.addr >= ckpt_lo && e.addr < ckpt_hi;
+                if (!fc.ckptEntryDamage || in_ckpt)
+                    cands.emplace_back(m, i);
+            }
+        }
+        if (cands.empty())
+            continue;  // nothing to damage (queue empty at this cycle)
+        auto [m, i] = cands[inj.rng().below(cands.size())];
+        mem::PersistEntry &e = mcs_[m]->wpqMutable().entryAt(i);
+        if (kind == 2) {
+            e.value &= 0xffff'ffffull;  // upper half of the granule lost
+            e.ecc = 2;
+        } else {
+            e.value ^= 1ull << inj.rng().below(64);
+            e.ecc = 1;
+        }
+        ++inj.wpqDamaged;
+        ++crashReport_.wpqDamaged;
+        trace::emitIf<trace::Category::Power>(
+            traceSink_.get(),
+            {now, trace::EventType::FaultInjected,
+             static_cast<std::int32_t>(m), e.thread, e.region, e.addr,
+             static_cast<std::uint64_t>(kind), i});
+    }
+
+    // --- Corruption barrier ----------------------------------------------
+    RegionId barrier = invalidRegion;
+    for (auto &mc : mcs_)
+        barrier = std::min(barrier, mc->minDamagedRegion());
+    if (barrier != invalidRegion) {
+        bool hazard = false;
+        for (auto &mc : mcs_)
+            hazard = hazard || mc->truncationHazard(barrier);
+        for (auto &mc : mcs_)
+            mc->setCorruptBarrier(barrier, hazard);
+        crashReport_.corruptBarrier = barrier;
+        crashReport_.truncationHazard = hazard;
+    }
+
+    // --- MC stall during the drain ---------------------------------------
+    if (fc.mcStallIters > 0) {
+        McId m = static_cast<McId>(inj.rng().below(mcs_.size()));
+        mcs_[m]->setCrashStall(fc.mcStallIters);
+        inj.stallsInjected += fc.mcStallIters;
+        crashReport_.stallsInjected += fc.mcStallIters;
+        trace::emitIf<trace::Category::Power>(
+            traceSink_.get(),
+            {now, trace::EventType::FaultInjected,
+             static_cast<std::int32_t>(m), 0, invalidRegion, 0, 3,
+             fc.mcStallIters});
+    }
+}
+
+/**
+ * PM media faults surfacing at recovery time: poisoned (read-error)
+ * words in the checkpoint area, and a silent bit flip in a persisted
+ * register slot that only the hardened checkpoint checksum can catch.
+ * Applied to the post-drain image — exactly what recovery reads.
+ */
+void
+System::injectPostDrainFaults(Tick now)
+{
+    fault::FaultInjector &inj = *faultInjector_;
+    const fault::FaultConfig &fc = inj.config();
+
+    if (fc.pmPoisonWords > 0) {
+        std::vector<Addr> cands;
+        for (ThreadId t = 0; t < threads_.size(); ++t) {
+            cands.push_back(program_.layout.pcSlot(t));
+            for (ir::Reg r = 0; r < ir::numGprs; ++r)
+                cands.push_back(program_.layout.regSlot(t, r));
+        }
+        for (unsigned k = 0; k < fc.pmPoisonWords && !cands.empty(); ++k) {
+            std::size_t i = inj.rng().below(cands.size());
+            Addr a = cands[i];
+            cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(i));
+            // The device lost the word: scramble the data, then flag it.
+            pm_.write(a, pm_.read(a) ^ 0xdead'beef'0bad'c0deull);
+            pm_.poison(a);
+            ++inj.poisonedWords;
+            ++crashReport_.poisonedWords;
+            trace::emitIf<trace::Category::Power>(
+                traceSink_.get(),
+                {now, trace::EventType::FaultInjected, -1, 0,
+                 invalidRegion, a, 4, 0});
+        }
+    }
+
+    if (fc.silentCkptFlip) {
+        std::vector<ThreadId> live;
+        for (ThreadId t = 0; t < threads_.size(); ++t) {
+            std::uint32_t site =
+                cpu::ckptSiteOf(pm_.read(program_.layout.pcSlot(t)));
+            if (site != static_cast<std::uint32_t>(noSiteSentinel) &&
+                site != cpu::haltSite)
+                live.push_back(t);
+        }
+        if (!live.empty()) {
+            ThreadId t = live[inj.rng().below(live.size())];
+            ir::Reg r =
+                static_cast<ir::Reg>(inj.rng().below(ir::numGprs));
+            Addr a = program_.layout.regSlot(t, r);
+            pm_.write(a, pm_.read(a) ^ (1ull << inj.rng().below(64)));
+            ++inj.silentFlips;
+            ++crashReport_.silentFlips;
+            trace::emitIf<trace::Category::Power>(
+                traceSink_.get(),
+                {now, trace::EventType::FaultInjected, -1, t,
+                 invalidRegion, a, 5, r});
+        }
+    }
 }
 
 std::unique_ptr<System>
@@ -319,9 +502,16 @@ System::recover(const SystemConfig &cfg,
     // thread and is broadcast at its next boundary.
     sys->regionAlloc_ = cpu::RegionAllocator();
 
-    // Reposition every thread at its latest persisted boundary.
+    // Reposition every thread at its latest persisted boundary. Under
+    // the hardened checkpoint format the PC-slot word carries a checksum
+    // in its upper half; the site id is always the low 32 bits (sentinel
+    // words are stored raw and fit in 32 bits, so both formats agree).
     for (ThreadId t = 0; t < num_threads; ++t) {
-        std::uint64_t site = pm_state.read(program.layout.pcSlot(t));
+        std::uint64_t word = pm_state.read(program.layout.pcSlot(t));
+        std::uint64_t site =
+            cfg.faults.hardenedCkpt
+                ? static_cast<std::uint64_t>(cpu::ckptSiteOf(word))
+                : word;
         cpu::ThreadContext &tc = *sys->threads_[t];
         if (site == noSiteSentinel) {
             tc.reset(0);  // no boundary persisted: restart from scratch
@@ -359,6 +549,106 @@ System::recover(const SystemConfig &cfg,
         }
     }
     return sys;
+}
+
+RecoveryResult
+System::recoverChecked(const SystemConfig &cfg,
+                       const compiler::CompiledProgram &program,
+                       unsigned num_threads,
+                       const mem::MemImage &pm_state,
+                       const std::vector<Addr> &lock_addrs,
+                       const CrashReport *victim_report)
+{
+    RecoveryResult res;
+    auto refuse = [&res](std::string why) {
+        res.outcome = RecoveryOutcome::DetectedUnrecoverable;
+        res.detail = std::move(why);
+        res.sys.reset();
+        return std::move(res);
+    };
+
+    // The crash drain's own findings come first: truncating the WPQ at
+    // a corruption barrier after part of the barrier's epoch already
+    // reached PM leaves a torn image no replay can repair.
+    if (victim_report && victim_report->truncationHazard)
+        return refuse("WPQ corruption barrier intersects flushed state");
+    // Both a WPQ corruption barrier and broadcast copies lost at the
+    // crash truncate the drain before the newest epoch: sound, but the
+    // image is older than perfect hardware would have left.
+    bool degraded = victim_report &&
+                    (victim_report->corruptBarrier != invalidRegion ||
+                     victim_report->bcastLostAtCrash > 0);
+
+    const compiler::CheckpointLayout &layout = program.layout;
+    for (ThreadId t = 0; t < num_threads; ++t) {
+        Addr pc_slot = layout.pcSlot(t);
+        if (pm_state.isPoisoned(pc_slot))
+            return refuse("PM read error on thread " + std::to_string(t) +
+                          " PC slot");
+        std::uint64_t word = pm_state.read(pc_slot);
+        std::uint32_t site = cpu::ckptSiteOf(word);
+        if (site == static_cast<std::uint32_t>(noSiteSentinel) ||
+            site == cpu::haltSite)
+            continue;  // no checkpoint to validate
+        if (site >= program.sites.size())
+            return refuse("thread " + std::to_string(t) +
+                          " PC slot names invalid boundary site " +
+                          std::to_string(site));
+
+        // A poisoned register slot is survivable only if this site's
+        // pruning recipes reconstruct the register without reading it.
+        bool any_poison = false;
+        for (ir::Reg r = 0; r < ir::numGprs; ++r) {
+            if (!pm_state.isPoisoned(layout.regSlot(t, r)))
+                continue;
+            any_poison = true;
+            bool masked = false;
+            for (const auto &recipe : program.site(site).recipes) {
+                if (recipe.reg != r)
+                    continue;
+                if (recipe.kind == compiler::CkptRecipe::Kind::Const) {
+                    masked = true;
+                } else if (recipe.kind ==
+                               compiler::CkptRecipe::Kind::AddSlot &&
+                           recipe.src != r &&
+                           !pm_state.isPoisoned(
+                               layout.regSlot(t, recipe.src))) {
+                    masked = true;
+                }
+                break;
+            }
+            if (!masked)
+                return refuse("PM read error on thread " +
+                              std::to_string(t) + " r" +
+                              std::to_string(r) +
+                              " checkpoint slot (no masking recipe)");
+            ++res.maskedPoisonRegs;
+        }
+
+        // Hardened format: the checksum covers the raw slot words, so it
+        // is only meaningful when every slot read back intact.
+        if (cfg.faults.hardenedCkpt && !any_poison &&
+            cpu::ckptSumOf(word) != cpu::ckptChecksum(pm_state, layout, t))
+            return refuse("thread " + std::to_string(t) +
+                          " register checkpoint checksum mismatch");
+    }
+
+    for (Addr lock : lock_addrs) {
+        if (pm_state.isPoisoned(lock))
+            return refuse("PM read error on lock word");
+    }
+
+    res.sys = recover(cfg, program, num_threads, pm_state, lock_addrs);
+    degraded = degraded || res.maskedPoisonRegs > 0;
+    res.outcome = degraded ? RecoveryOutcome::RecoveredDegraded
+                           : RecoveryOutcome::Recovered;
+    if (degraded)
+        res.detail = "resumed from an older persisted epoch";
+    trace::emitIf<trace::Category::Power>(
+        res.sys->traceSink_.get(),
+        {0, trace::EventType::RecoveryVerdict, -1, 0, invalidRegion, 0,
+         static_cast<std::uint64_t>(res.outcome), res.maskedPoisonRegs});
+    return res;
 }
 
 // ---- MemPort ---------------------------------------------------------------

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "core/system_config.hh"
@@ -35,6 +36,50 @@ namespace core {
 
 /** PC-slot sentinel: thread has not yet persisted any boundary. */
 constexpr std::uint64_t noSiteSentinel = 0xffff'fffeull;
+
+/**
+ * Classification of a recovery attempt (fault-hardening contract):
+ * every injected fault is either masked (Recovered), survived by
+ * falling back to an older persisted epoch (RecoveredDegraded), or
+ * reported (DetectedUnrecoverable) — never silent corruption.
+ */
+enum class RecoveryOutcome : std::uint8_t
+{
+    Recovered,              ///< full recovery at the newest epoch
+    RecoveredDegraded,      ///< sound recovery at an older epoch
+    DetectedUnrecoverable,  ///< PM image damaged beyond sound recovery
+};
+
+const char *recoveryOutcomeName(RecoveryOutcome o);
+
+/**
+ * What the §IV-F crash drain observed and did about injected hardware
+ * faults. All-default when fault injection is off.
+ */
+struct CrashReport
+{
+    bool faultsArmed = false;
+    /** Drain truncated before this region (WPQ ECC damage), if any. */
+    RegionId corruptBarrier = invalidRegion;
+    /** Truncation would lose already-persisted writes: refuse recovery. */
+    bool truncationHazard = false;
+    unsigned wpqDamaged = 0;
+    unsigned poisonedWords = 0;
+    unsigned silentFlips = 0;
+    unsigned stallsInjected = 0;
+    std::uint64_t bcastRetries = 0;
+    std::uint64_t bcastLostAtCrash = 0;
+};
+
+/** Result of System::recoverChecked(). */
+struct RecoveryResult
+{
+    /** The recovered system; null iff outcome is DetectedUnrecoverable. */
+    std::unique_ptr<class System> sys;
+    RecoveryOutcome outcome = RecoveryOutcome::Recovered;
+    std::string detail;          ///< human-readable classification reason
+    unsigned maskedPoisonRegs = 0;  ///< poisoned slots recipes masked
+};
 
 /** Aggregated outcome of one run (normalized by the harness). */
 struct RunResult
@@ -141,6 +186,29 @@ class System : public cpu::MemPort
             unsigned num_threads, const mem::MemImage &pm_state,
             const std::vector<Addr> &lock_addrs);
 
+    /**
+     * Hardened recovery: validate @p pm_state before building the
+     * successor — poisoned PC slots, poisoned register slots no pruning
+     * recipe can mask, poisoned lock words and (under the hardened
+     * checkpoint format) register-checkpoint checksum mismatches all
+     * classify the image DetectedUnrecoverable instead of resuming on
+     * garbage. A victim's @p victim_report (when given) folds the crash
+     * drain's own findings in: a truncation hazard is unrecoverable, a
+     * clean corruption barrier degrades to the older epoch.
+     */
+    static RecoveryResult
+    recoverChecked(const SystemConfig &cfg,
+                   const compiler::CompiledProgram &program,
+                   unsigned num_threads, const mem::MemImage &pm_state,
+                   const std::vector<Addr> &lock_addrs,
+                   const CrashReport *victim_report = nullptr);
+
+    /** What the crash drain saw of injected faults (all-default if none). */
+    const CrashReport &crashReport() const { return crashReport_; }
+
+    /** Fault injector (null unless cfg.faults.enabled). */
+    fault::FaultInjector *faultInjector() { return faultInjector_.get(); }
+
     // ---- MemPort ----------------------------------------------------------
     Tick loadLatency(CoreId core_id, Addr addr, Tick now) override;
     bool storeAccess(CoreId core_id, Addr addr, Tick now) override;
@@ -185,12 +253,17 @@ class System : public cpu::MemPort
     void scheduleThreads(Tick now);
     void maybeEndWarmup();
     void executeCrashDrain(Tick now, int interrupt_after = -1);
+    void injectCrashFaults(Tick now);
+    void injectPostDrainFaults(Tick now);
     RunResult collectResult(bool completed);
 
     SystemConfig cfg_;
     const compiler::CompiledProgram &program_;
     std::unique_ptr<mem::LrpoOracle> oracle_;
     std::unique_ptr<trace::TraceSink> traceSink_;
+    std::unique_ptr<fault::FaultInjector> faultInjector_;
+    CrashReport crashReport_;
+    bool crashFaultsInjected_ = false;
 
     mem::MemImage execMem_;
     mem::MemImage pm_;

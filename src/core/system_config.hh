@@ -16,6 +16,7 @@
 
 #include "compiler/config.hh"
 #include "cpu/core.hh"
+#include "fault/fault.hh"
 #include "mem/cache.hh"
 #include "mem/mem_controller.hh"
 #include "trace/events.hh"
@@ -116,6 +117,16 @@ struct SystemConfig
 
     /** Ring-buffer capacity in events (oldest overwritten on wrap). */
     std::size_t traceBufferEvents = 1u << 16;
+
+    /**
+     * Hardware fault injection (see fault/fault.hh). Disabled by
+     * default: no FaultInjector is created, every hook stays a null
+     * pointer and results are bit-identical to a faultless build. With
+     * `faults.enabled` but every axis at its default, the machine runs
+     * the hardened protocol paths (broadcast ack/retry bookkeeping) with
+     * timing still bit-identical — asserted by test_fault.
+     */
+    fault::FaultConfig faults;
 
     /**
      * Derive the per-scheme core/MC settings. Call once after setting the

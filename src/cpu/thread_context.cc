@@ -292,11 +292,16 @@ ThreadContext::step(ExecRecord &rec)
         // persist path. A fresh ID is taken immediately (§IV-B).
         std::uint32_t site = static_cast<std::uint32_t>(inst.imm);
         Addr slot = program_.layout.pcSlot(tid_);
-        mem_.write(slot, site);
+        std::uint64_t word = site;
+        if (hardenedCkpt_) {
+            word = packCkptWord(
+                site, ckptChecksum(mem_, program_.layout, tid_));
+        }
+        mem_.write(slot, word);
         rec.isStore = true;
         rec.isBoundary = true;
         rec.addr = slot;
-        rec.value = site;
+        rec.value = word;
         rec.site = site;
         rec.region = region_;           // the boundary PC-store is the
         rec.broadcastRegion = region_;  // ended region's last store

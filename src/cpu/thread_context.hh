@@ -58,6 +58,54 @@ decodePc(std::uint64_t word)
     return pc;
 }
 
+// ---- Hardened checkpoint format (fault-tolerant recovery) --------------
+//
+// In the baseline format a PC-slot store carries the bare 32-bit
+// boundary site id. The hardened format (FaultConfig::hardenedCkpt)
+// packs a 32-bit checksum over the thread's register checkpoint slots
+// into the upper half of the same 64-bit store, so recovery can detect
+// register-slot corruption (bit flips that escape ECC) before trusting
+// the checkpoint. Region commits are all-entries-atomic, so the register
+// slots a recovering thread reads are exactly the values this checksum
+// covered when the newest committed boundary retired. Sentinel words
+// (the no-site and halt markers) are stored raw; decoding always takes
+// the low 32 bits, which both formats agree on for sentinels.
+
+/** Checksum the register checkpoint slots of @p tid as stored in @p img. */
+inline std::uint32_t
+ckptChecksum(const mem::MemImage &img,
+             const compiler::CheckpointLayout &layout, ThreadId tid)
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (ir::Reg r = 0; r < ir::numGprs; ++r) {
+        h ^= img.read(layout.regSlot(tid, r));
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+    }
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+constexpr std::uint64_t
+packCkptWord(std::uint32_t site, std::uint32_t sum)
+{
+    return static_cast<std::uint64_t>(site) |
+           (static_cast<std::uint64_t>(sum) << 32);
+}
+
+/** Boundary site id of a PC-slot word (either checkpoint format). */
+constexpr std::uint32_t
+ckptSiteOf(std::uint64_t word)
+{
+    return static_cast<std::uint32_t>(word);
+}
+
+/** Stored checksum of a hardened PC-slot word. */
+constexpr std::uint32_t
+ckptSumOf(std::uint64_t word)
+{
+    return static_cast<std::uint32_t>(word >> 32);
+}
+
 class ThreadContext
 {
   public:
@@ -112,6 +160,13 @@ class ThreadContext
     /** Recovery of a thread whose PC slot says it already halted. */
     void markHalted() { halted_ = true; }
 
+    /**
+     * Switch boundary PC-stores to the hardened checkpoint format
+     * (site | checksum << 32). Off by default: the bare format keeps
+     * traces and timing bit-identical to the unhardened machine.
+     */
+    void setHardenedCkpt(bool on) { hardenedCkpt_ = on; }
+
   private:
     const ir::Instruction &currentInst() const;
     void advance();                       ///< pc to next inst (same block)
@@ -127,6 +182,7 @@ class ThreadContext
     std::array<std::uint64_t, ir::numGprs> regs_{};
     RegionId region_ = invalidRegion;
     bool halted_ = true;
+    bool hardenedCkpt_ = false;
 
     std::uint64_t instsExecuted_ = 0;
     std::uint64_t boundaries_ = 0;

@@ -1,0 +1,138 @@
+#include "fault/fault.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lwsp {
+namespace fault {
+
+/*
+ * Spec grammar: comma-separated `key=value` pairs, canonical key order,
+ * default-valued keys omitted. `enabled` and `hardenedCkpt` are not
+ * spelled — whoever applies a parsed config decides those (the fuzz
+ * campaign arms both whenever any axis is set).
+ *
+ *   seed=N     injector RNG seed (decimal)
+ *   loss=P     broadcast-copy loss permille
+ *   delay=P    broadcast-copy delay permille
+ *   delayc=N   delay amount in cycles (only emitted when != 120)
+ *   dup=P      broadcast-copy duplication permille
+ *   losspin=T  drop the first broadcast at/after tick T entirely
+ *   flip=1     WPQ bit flip at crash (ECC-detected)
+ *   tear=1     torn WPQ entry at crash (ECC-detected)
+ *   ckpt=1     pin WPQ damage to a checkpoint-area entry
+ *   poison=N   poison N checkpoint-area PM words at crash
+ *   silent=1   silent bit flip in a persisted register slot
+ *   stall=N    MC stall iterations during the crash drain
+ */
+
+bool
+FaultConfig::anyArmed() const
+{
+    return bcastLossPm || bcastDelayPm || bcastDupPm ||
+           bcastLossPinTick != maxTick || wpqBitFlip || wpqTear ||
+           ckptEntryDamage || pmPoisonWords || silentCkptFlip ||
+           mcStallIters;
+}
+
+std::string
+FaultConfig::toString() const
+{
+    std::string s;
+    auto add = [&](const char *key, std::uint64_t v) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%s%s=%llu", s.empty() ? "" : ",",
+                      key, static_cast<unsigned long long>(v));
+        s += buf;
+    };
+    if (seed)
+        add("seed", seed);
+    if (bcastLossPm)
+        add("loss", bcastLossPm);
+    if (bcastDelayPm)
+        add("delay", bcastDelayPm);
+    if (bcastDelayCycles != 120)
+        add("delayc", bcastDelayCycles);
+    if (bcastDupPm)
+        add("dup", bcastDupPm);
+    if (bcastLossPinTick != maxTick)
+        add("losspin", bcastLossPinTick);
+    if (wpqBitFlip)
+        add("flip", 1);
+    if (wpqTear)
+        add("tear", 1);
+    if (ckptEntryDamage)
+        add("ckpt", 1);
+    if (pmPoisonWords)
+        add("poison", pmPoisonWords);
+    if (silentCkptFlip)
+        add("silent", 1);
+    if (mcStallIters)
+        add("stall", mcStallIters);
+    return s;
+}
+
+bool
+FaultConfig::parse(const std::string &s, FaultConfig &out, std::string &err)
+{
+    FaultConfig cfg;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        std::string tok = s.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? s.size() : comma + 1;
+        std::size_t eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            err = "bad fault token '" + tok + "' (want key=value)";
+            return false;
+        }
+        std::string key = tok.substr(0, eq);
+        std::string val = tok.substr(eq + 1);
+        char *end = nullptr;
+        std::uint64_t v = std::strtoull(val.c_str(), &end, 10);
+        if (val.empty() || end == nullptr || *end != '\0') {
+            err = "bad fault value in '" + tok + "'";
+            return false;
+        }
+        if (key == "seed") {
+            cfg.seed = v;
+        } else if (key == "loss") {
+            cfg.bcastLossPm = static_cast<unsigned>(v);
+        } else if (key == "delay") {
+            cfg.bcastDelayPm = static_cast<unsigned>(v);
+        } else if (key == "delayc") {
+            cfg.bcastDelayCycles = v;
+        } else if (key == "dup") {
+            cfg.bcastDupPm = static_cast<unsigned>(v);
+        } else if (key == "losspin") {
+            cfg.bcastLossPinTick = v;
+        } else if (key == "flip") {
+            cfg.wpqBitFlip = v != 0;
+        } else if (key == "tear") {
+            cfg.wpqTear = v != 0;
+        } else if (key == "ckpt") {
+            cfg.ckptEntryDamage = v != 0;
+        } else if (key == "poison") {
+            cfg.pmPoisonWords = static_cast<unsigned>(v);
+        } else if (key == "silent") {
+            cfg.silentCkptFlip = v != 0;
+        } else if (key == "stall") {
+            cfg.mcStallIters = static_cast<unsigned>(v);
+        } else {
+            err = "unknown fault key '" + key + "'";
+            return false;
+        }
+        if (cfg.bcastLossPm > 1000 || cfg.bcastDelayPm > 1000 ||
+            cfg.bcastDupPm > 1000) {
+            err = "fault permille out of range in '" + tok + "'";
+            return false;
+        }
+    }
+    out = cfg;
+    return true;
+}
+
+} // namespace fault
+} // namespace lwsp

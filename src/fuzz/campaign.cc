@@ -50,6 +50,8 @@ CaseSpec::toString() const
     }
     if (fault)
         os << ":fault=1";
+    if (std::string f = faults.toString(); !f.empty())
+        os << ":faults=" << f;
     return os.str();
 }
 
@@ -120,6 +122,12 @@ CaseSpec::parse(const std::string &s, CaseSpec &out, std::string &err)
                 spec.drainIters = static_cast<unsigned>(std::stoul(val));
             } else if (key == "fault") {
                 spec.fault = val != "0";
+            } else if (key == "faults") {
+                std::string ferr;
+                if (!fault::FaultConfig::parse(val, spec.faults, ferr)) {
+                    err = "bad faults spec: " + ferr;
+                    return false;
+                }
             } else {
                 err = "unknown key '" + key + "'";
                 return false;
@@ -273,12 +281,25 @@ harvestOracle(core::System &sys, const char *what, std::uint64_t &checks)
 std::string
 checkPoint(const CaseBuild &bc, const core::System &golden,
            const CaseSpec &pt, std::uint64_t &checks, unsigned &runs,
-           CampaignResult *capture = nullptr)
+           CampaignResult &tally, CampaignResult *capture = nullptr)
 {
     // The fault knob models a hardware bug in the victim machine only;
-    // recovery always runs on correct hardware.
+    // recovery always runs on correct hardware. Injected *hardware*
+    // faults (pt.faults) likewise arm only the victim; recovery keeps
+    // just the hardened checkpoint format so it can decode and verify
+    // what the hardened victim persisted.
     core::SystemConfig vcfg = bc.cfg;
     vcfg.mc.faultReleaseEarly = pt.fault;
+    bool hw_faults = pt.faults.anyArmed();
+    if (hw_faults) {
+        vcfg.faults = pt.faults;
+        vcfg.faults.enabled = true;
+        vcfg.faults.hardenedCkpt = true;
+        if (vcfg.faults.seed == 0)
+            vcfg.faults.seed = pt.seed;
+    }
+    core::SystemConfig rcfg = bc.cfg;
+    rcfg.faults.hardenedCkpt = hw_faults;
     if (capture)
         vcfg.traceEnabled = true;
 
@@ -306,8 +327,33 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
     if (!victim.crashed())
         return "victim neither completed nor crashed";
 
-    auto rec = core::System::recover(bc.cfg, bc.prog, bc.threads,
-                                     victim.pmImage(), bc.lockAddrs);
+    auto tallyOutcome = [&tally](core::RecoveryOutcome o) {
+        switch (o) {
+          case core::RecoveryOutcome::Recovered:
+            ++tally.recoveredExact;
+            break;
+          case core::RecoveryOutcome::RecoveredDegraded:
+            ++tally.recoveredDegraded;
+            break;
+          case core::RecoveryOutcome::DetectedUnrecoverable:
+            ++tally.detectedUnrecoverable;
+            break;
+        }
+    };
+    auto recres = core::System::recoverChecked(
+        rcfg, bc.prog, bc.threads, victim.pmImage(), bc.lockAddrs,
+        &victim.crashReport());
+    tallyOutcome(recres.outcome);
+    if (recres.outcome == core::RecoveryOutcome::DetectedUnrecoverable) {
+        // The hardening contract allows giving up, never lying: a
+        // reported-unrecoverable image passes. Sanity-check the claim —
+        // refusal without any armed fault would be a regression.
+        if (!hw_faults && !pt.fault)
+            return "fault-free image classified unrecoverable: " +
+                   recres.detail;
+        return {};
+    }
+    auto rec = std::move(recres.sys);
     ++runs;
     core::RunResult rr;
     if (pt.mode == CrashMode::DoubleRecovery) {
@@ -319,9 +365,20 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
         if (!rr.completed) {
             if (!rec->crashed())
                 return "recovery-1 neither completed nor crashed";
-            auto rec2 = core::System::recover(bc.cfg, bc.prog,
-                                              bc.threads, rec->pmImage(),
-                                              bc.lockAddrs);
+            auto rec2res = core::System::recoverChecked(
+                rcfg, bc.prog, bc.threads, rec->pmImage(), bc.lockAddrs,
+                &rec->crashReport());
+            tallyOutcome(rec2res.outcome);
+            if (rec2res.outcome ==
+                core::RecoveryOutcome::DetectedUnrecoverable) {
+                // Unhealed poison from the first fault can survive into
+                // the second image; refusing it is within contract.
+                if (!hw_faults && !pt.fault)
+                    return "fault-free image classified unrecoverable: " +
+                           rec2res.detail;
+                return {};
+            }
+            auto rec2 = std::move(rec2res.sys);
             ++runs;
             auto r2 = rec2->run();
             if (auto e = harvestOracle(*rec2, "recovery-2", checks);
@@ -397,6 +454,7 @@ shrinkFailure(CaseSpec failing, Tick golden_cycles,
               std::uint64_t &checks, unsigned &runs, bool &shrunk)
 {
     shrunk = false;
+    CampaignResult scratch;  // shrink probes don't count verdict tallies
 
     // Phase 1: smaller program at the same relative position.
     for (unsigned level = failing.shrink + 1; level <= maxShrinkLevel;
@@ -416,7 +474,8 @@ shrinkFailure(CaseSpec failing, Tick golden_cycles,
             probe.crashAt = std::min(t, g.cycles ? g.cycles - 1 : 0);
             if (probe.mode == CrashMode::DoubleRecovery)
                 probe.crashAt2 = probe.crashAt;
-            if (!checkPoint(bc, *g.sys, probe, checks, runs).empty()) {
+            if (!checkPoint(bc, *g.sys, probe, checks, runs, scratch)
+                     .empty()) {
                 failing = probe;
                 golden_cycles = g.cycles;
                 found = true;
@@ -448,7 +507,8 @@ shrinkFailure(CaseSpec failing, Tick golden_cycles,
                 probe.crashAt = t;
                 if (probe.mode == CrashMode::DoubleRecovery)
                     probe.crashAt2 = t;
-                if (!checkPoint(bc, *g.sys, probe, checks, runs)
+                if (!checkPoint(bc, *g.sys, probe, checks, runs,
+                                scratch)
                          .empty()) {
                     failing = probe;
                     shrunk = true;
@@ -484,7 +544,7 @@ runCampaign(const CaseSpec &spec, const CampaignOptions &opt)
         ++res.pointsTried;
         std::string err =
             checkPoint(bc, *g.sys, spec, res.oracleChecks,
-                       res.runsExecuted,
+                       res.runsExecuted, res,
                        opt.captureTrace ? &res : nullptr);
         if (!err.empty()) {
             res.passed = false;
@@ -527,7 +587,7 @@ runCampaign(const CaseSpec &spec, const CampaignOptions &opt)
     for (const CaseSpec &pt : injections) {
         ++res.pointsTried;
         std::string err = checkPoint(bc, *g.sys, pt, res.oracleChecks,
-                                     res.runsExecuted);
+                                     res.runsExecuted, res);
         if (err.empty())
             continue;
         res.passed = false;

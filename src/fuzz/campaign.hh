@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "trace/events.hh"
 
 namespace lwsp {
@@ -57,6 +58,14 @@ struct CaseSpec
     unsigned drainIters = 0;  ///< DoubleDrain: quiescence iters completed
     /** Enable the MC's test-only early-release fault on victim runs. */
     bool fault = false;
+    /**
+     * Hardware fault axes armed on the victim machine (fault/fault.hh).
+     * When any axis is armed the victim runs with the fault layer live
+     * and hardened checkpoints, and recovery goes through
+     * System::recoverChecked — a DetectedUnrecoverable verdict passes
+     * (the fault was reported); silent corruption fails.
+     */
+    fault::FaultConfig faults;
 
     std::string toString() const;
     /** Parse a spec string; on failure @p err explains why. */
@@ -92,6 +101,11 @@ struct CampaignResult
     unsigned runsExecuted = 0;
     std::uint64_t oracleChecks = 0;
     Tick goldenCycles = 0;
+
+    // Hardened-recovery verdict tallies (fault-armed points only).
+    unsigned recoveredExact = 0;
+    unsigned recoveredDegraded = 0;
+    unsigned detectedUnrecoverable = 0;
 
     /** Victim-run event trace (replay path with captureTrace). */
     std::vector<trace::Event> victimTrace;

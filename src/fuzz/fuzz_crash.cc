@@ -4,7 +4,7 @@
  *
  *   fuzz_crash [--seeds N] [--base-seed S] [--mode wl|ir|mixed]
  *              [--crash-points N] [--jobs N] [--no-double] [--no-shrink]
- *              [--fault] [--replay SPEC] [--trace-out FILE]
+ *              [--fault] [--faults] [--replay SPEC] [--trace-out FILE]
  *
  * Default: run N seeded campaigns (half workload-sourced, half
  * IR-sourced with --mode mixed), each injecting single and double power
@@ -16,6 +16,18 @@
  *
  * --fault arms the MC's test-only early-release fault on victim runs so
  * the oracle/shrink/replay machinery can be demonstrated on a known bug.
+ *
+ * --faults runs a hardware fault-injection campaign instead: each seed
+ * additionally arms one fault-axis group (broadcast loss / delay+dup /
+ * pinned loss / WPQ damage / checkpoint damage+stall / PM poison+silent
+ * flip, round-robin) on its victim runs, and recovery goes through the
+ * hardened System::recoverChecked path. A detected-unrecoverable
+ * verdict passes — the contract is "never silently corrupt", and the
+ * summary reports the recovered / degraded / unrecoverable tallies.
+ *
+ * Exit status: 0 all passed, 1 mismatch/oracle failure, 2 usage,
+ * 3 passed but with at least one detected-unrecoverable verdict
+ * (replay path: the injected fault was detected and reported).
  *
  * --trace-out FILE (replay path only) re-runs the victim with the
  * telemetry sink armed and writes its event trace in the lwsp binary
@@ -46,10 +58,49 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seeds N] [--base-seed S] [--mode wl|ir|mixed]\n"
         "          [--crash-points N] [--jobs N] [--no-double]\n"
-        "          [--no-shrink] [--fault] [--replay SPEC]\n"
+        "          [--no-shrink] [--fault] [--faults] [--replay SPEC]\n"
         "          [--trace-out FILE]\n",
         argv0);
     return 2;
+}
+
+/**
+ * Arm one hardware fault-axis group on @p spec (round-robin by campaign
+ * index). The injector seed is pinned to the case seed so the spec
+ * string round-trips to the exact same injections.
+ */
+fuzz::CaseSpec
+withFaultAxis(fuzz::CaseSpec spec, unsigned idx)
+{
+    fault::FaultConfig fc;
+    fc.seed = spec.seed;
+    switch (idx % 6) {
+      case 0:
+        fc.bcastLossPm = 150;
+        break;
+      case 1:
+        fc.bcastDelayPm = 200;
+        fc.bcastDelayCycles = 240;
+        fc.bcastDupPm = 100;
+        break;
+      case 2:
+        fc.bcastLossPinTick = 1500;
+        break;
+      case 3:
+        fc.wpqBitFlip = true;
+        fc.wpqTear = true;
+        break;
+      case 4:
+        fc.ckptEntryDamage = true;
+        fc.mcStallIters = 2;
+        break;
+      case 5:
+        fc.pmPoisonWords = 2;
+        fc.silentCkptFlip = true;
+        break;
+    }
+    spec.faults = fc;
+    return spec;
 }
 
 } // namespace
@@ -65,6 +116,7 @@ main(int argc, char **argv)
     std::string trace_out;
     fuzz::CampaignOptions opt;
     bool fault = false;
+    bool hw_faults = false;
 
     for (int i = 1; i < argc; ++i) {
         auto arg = [&](const char *name) {
@@ -97,6 +149,8 @@ main(int argc, char **argv)
             opt.shrinkOnFailure = false;
         } else if (std::strcmp(argv[i], "--fault") == 0) {
             fault = true;
+        } else if (std::strcmp(argv[i], "--faults") == 0) {
+            hw_faults = true;
         } else {
             return usage(argv[0]);
         }
@@ -126,6 +180,14 @@ main(int argc, char **argv)
                     res.passed ? "PASSED" : "FAILED",
                     res.runsExecuted,
                     static_cast<unsigned long long>(res.oracleChecks));
+        if (res.recoveredExact + res.recoveredDegraded +
+                res.detectedUnrecoverable >
+            0) {
+            std::printf("  verdicts: %u recovered, %u degraded, "
+                        "%u unrecoverable\n",
+                        res.recoveredExact, res.recoveredDegraded,
+                        res.detectedUnrecoverable);
+        }
         if (!res.passed) {
             std::printf("  %s\n", res.failure.c_str());
             std::printf("REPRODUCER: %s\n",
@@ -140,7 +202,9 @@ main(int argc, char **argv)
             std::printf("victim trace (%zu events) written to %s\n",
                         res.victimTrace.size(), trace_out.c_str());
         }
-        return res.passed ? 0 : 1;
+        if (!res.passed)
+            return 1;
+        return res.detectedUnrecoverable > 0 ? 3 : 0;
     }
     if (!trace_out.empty()) {
         std::fprintf(stderr, "--trace-out requires --replay\n");
@@ -156,6 +220,8 @@ main(int argc, char **argv)
         bool use_ir = (mode == "ir") || (mode == "mixed" && i % 2 == 1);
         spec.source = use_ir ? fuzz::CaseSpec::Source::Ir
                              : fuzz::CaseSpec::Source::Workload;
+        if (hw_faults)
+            spec = withFaultAxis(spec, i);
         specs[i] = spec;
     }
 
@@ -166,12 +232,16 @@ main(int argc, char **argv)
     });
 
     unsigned failed = 0, points = 0, runs = 0;
+    unsigned exact = 0, degraded = 0, unrec = 0;
     std::uint64_t checks = 0;
     for (unsigned i = 0; i < seeds; ++i) {
         const auto &r = results[i];
         points += r.pointsTried;
         runs += r.runsExecuted;
         checks += r.oracleChecks;
+        exact += r.recoveredExact;
+        degraded += r.recoveredDegraded;
+        unrec += r.detectedUnrecoverable;
         if (r.passed)
             continue;
         ++failed;
@@ -189,5 +259,14 @@ main(int argc, char **argv)
                 "%llu oracle checks, %u failures, %.1fs\n",
                 seeds, points, runs,
                 static_cast<unsigned long long>(checks), failed, secs);
+    if (hw_faults) {
+        // Every fault-armed point is classified; a completed recovery
+        // that mismatched golden counts as a failure above — so with
+        // 0 failures every injected fault was masked, degraded or
+        // reported, never silently absorbed.
+        std::printf("fault verdicts: %u recovered, %u degraded, "
+                    "%u unrecoverable; silent-corruption failures: %u\n",
+                    exact, degraded, unrec, failed);
+    }
     return failed ? 1 : 0;
 }

@@ -211,8 +211,26 @@ MemController::flushEntryToPm(const PersistEntry &e, bool fallback, Tick now)
         shadows_.emplace(e.addr, std::move(sh));
         ++fallbackFlushes_;
     }
+    if (!fallback && cfg_.gatingEnabled)
+        state(e.region).normalFlushStarted = true;
     traceEvent(fallback ? 1 : 0, e.addr, e.value, e.region, now);
     pm_.write(e.addr, e.value);
+}
+
+bool
+MemController::truncationHazard(RegionId b) const
+{
+    // A region >= b already committed: its writes are final by contract.
+    if (flushId_ > b)
+        return true;
+    // A normal flush of a region >= b reached PM directly (not through
+    // an undo shadow): that write survives crashFinish regardless of
+    // where the drain cursor stops, so truncating before it is unsound.
+    for (const auto &[region, st] : regions_) {
+        if (region >= b && st.normalFlushStarted)
+            return true;
+    }
+    return false;
 }
 
 void
@@ -392,8 +410,16 @@ MemController::serveLoadMiss(Addr addr, Tick now)
 bool
 MemController::crashStep(Tick now)
 {
+    // Injected MC stall: the controller makes no progress this
+    // quiescence iteration but still reports activity, so the drain loop
+    // keeps iterating and completes once the stall budget is absorbed.
+    if (stallIters_ > 0) {
+        --stallIters_;
+        ++stallsAbsorbed_;
+        return true;
+    }
     bool progress = false;
-    while (ready(drainCursor_)) {
+    while (drainCursor_ < corruptBarrier_ && ready(drainCursor_)) {
         RegionId r = drainCursor_;
         while (auto e = wpq_.popRegion(r)) {
             flushEntryToPm(*e, false, now);
@@ -450,7 +476,8 @@ MemController::crashFinish(Tick now)
     shadows_.clear();
     wpq_.clear();
     if (cfg_.oracle)
-        cfg_.oracle->onCrashFinish(id_, drainCursor_);
+        cfg_.oracle->onCrashFinish(id_, drainCursor_,
+                                   detectedUnrecoverable_);
 }
 
 } // namespace mem

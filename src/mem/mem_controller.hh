@@ -151,6 +151,48 @@ class MemController : public Clocked, public McEndpoint
     /** Step 6 + undo restore: discard unpersisted entries. */
     void crashFinish(Tick now = 0);
 
+    // ---- Fault handling (crash-time ECC damage, §IV-F hardening) ---------
+    /**
+     * Smallest WPQ region with an ECC-damaged entry (bit flip / torn
+     * write detected by the battery-backed queue's ECC); invalidRegion
+     * when the queue is clean.
+     */
+    RegionId minDamagedRegion() const { return wpq_.minDamagedRegion(); }
+
+    /**
+     * Would truncating the crash drain before region @p b lose writes
+     * that already reached PM without undo logging? True when a region
+     * >= @p b committed here or had a normal (non-shadowed) flush start:
+     * such writes cannot be rolled back, so stopping at @p b would leave
+     * PM holding a *partial* suffix — detected-unrecoverable, never a
+     * silent truncation.
+     */
+    bool truncationHazard(RegionId b) const;
+
+    /**
+     * Stop the crash drain before region @p b (the globally lowest
+     * damaged region): regions >= @p b are discarded as if the power had
+     * failed one epoch earlier. @p hazard marks the image unrecoverable
+     * (see truncationHazard); the drain still runs so PM lands in a
+     * deterministic state, but recovery must refuse the image.
+     */
+    void
+    setCorruptBarrier(RegionId b, bool hazard)
+    {
+        corruptBarrier_ = std::min(corruptBarrier_, b);
+        detectedUnrecoverable_ = detectedUnrecoverable_ || hazard;
+    }
+
+    /** Absorb @p iters crash-drain quiescence iterations (MC stall). */
+    void setCrashStall(unsigned iters) { stallIters_ = iters; }
+
+    RegionId corruptBarrier() const { return corruptBarrier_; }
+    bool detectedUnrecoverable() const { return detectedUnrecoverable_; }
+    unsigned crashStallsAbsorbed() const { return stallsAbsorbed_; }
+
+    /** Mutable WPQ access for the fault layer's crash-time damage. */
+    Wpq &wpqMutable() { return wpq_; }
+
     // ---- Introspection ---------------------------------------------------
     RegionId flushId() const { return flushId_; }
     RegionId drainCursor() const { return drainCursor_; }
@@ -215,6 +257,12 @@ class MemController : public Clocked, public McEndpoint
         bool localFlushDone = false;
         bool bdryAckSent = false;
         Tick bdryArrivedAt = 0;       ///< stats-only (bcastLatency)
+        /**
+         * A normal (non-undo-logged) flush of this region reached PM.
+         * Such writes cannot be rolled back, so a corruption barrier at
+         * or below this region is a truncation hazard.
+         */
+        bool normalFlushStarted = false;
     };
 
     RegionState &state(RegionId r) { return regions_[r]; }
@@ -279,6 +327,12 @@ class MemController : public Clocked, public McEndpoint
     bool fallbackActive_ = false;
     bool faultFired_ = false;   ///< faultReleaseEarly one-shot latch
     std::map<Addr, Shadow> shadows_;
+
+    // Crash-time fault-handling state (inert without fault injection).
+    RegionId corruptBarrier_ = invalidRegion;
+    bool detectedUnrecoverable_ = false;
+    unsigned stallIters_ = 0;
+    unsigned stallsAbsorbed_ = 0;
 
     FlushTraceHook traceHook_;
     stats::Distribution wpqOccupancy_;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/logging.hh"
@@ -46,7 +47,22 @@ class MemImage
         if (page.empty())
             page.assign(pageWords, 0);
         page[(addr >> 3) & (pageWords - 1)] = value;
+        if (!poisoned_.empty())
+            poisoned_.erase(addr);
     }
+
+    // ---- PM media errors (fault injection) ---------------------------
+    /**
+     * Mark the word at @p addr as a media read error: the device flags
+     * it (like a DIMM returning a poison ECC code) and its data are
+     * garbage. A fresh write to the address heals it. The stored value
+     * is left as-is — the injector scrambles it separately, so code that
+     * ignores the flag observes corrupt data rather than a crash.
+     */
+    void poison(Addr addr) { poisoned_.insert(addr); }
+
+    bool isPoisoned(Addr addr) const { return poisoned_.count(addr) != 0; }
+    std::size_t poisonedCount() const { return poisoned_.size(); }
 
     /** Number of resident pages (for tests). */
     std::size_t residentPages() const { return pages_.size(); }
@@ -106,6 +122,7 @@ class MemImage
 
   private:
     std::unordered_map<Addr, std::vector<std::uint64_t>> pages_;
+    std::unordered_set<Addr> poisoned_;
 };
 
 } // namespace mem

@@ -184,12 +184,20 @@ LrpoOracle::onCommit(McId mc, RegionId region, Tick now)
 }
 
 void
-LrpoOracle::onCrashFinish(McId mc, RegionId drain_cursor)
+LrpoOracle::onCrashFinish(McId mc, RegionId drain_cursor,
+                          bool detected_unrecoverable)
 {
     // Invariant 4: every surviving PM word owned by this MC must have
     // been written by a committed (id < drain_cursor) region. Fallback
     // writes (kind 1) of uncommitted regions must have been reverted
     // (kind 3) before this point, so any survivor is a violation too.
+    if (detected_unrecoverable) {
+        // The MC flagged this image detected-unrecoverable: stale words
+        // past the truncation barrier are expected and recovery refuses
+        // the image, so there is nothing silent left to catch.
+        ++checksRun_;
+        return;
+    }
     for (const auto &[addr, w] : lastWriter_) {
         if (w.mc != mc)
             continue;

@@ -96,8 +96,13 @@ class LrpoOracle
     /**
      * MC @p mc finished the §IV-F crash drain; regions < @p drain_cursor
      * are its committed prefix. Verifies invariant 4 for its addresses.
+     * With @p detected_unrecoverable the machine itself reported the PM
+     * image as damaged beyond sound truncation (fault injection); the
+     * oracle hunts *silent* corruption, so invariant 4 is skipped — the
+     * hardware already refused to recover from this image.
      */
-    void onCrashFinish(McId mc, RegionId drain_cursor);
+    void onCrashFinish(McId mc, RegionId drain_cursor,
+                       bool detected_unrecoverable = false);
 
     // ---- Results ---------------------------------------------------------
     bool ok() const { return violations_.empty(); }

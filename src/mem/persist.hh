@@ -35,6 +35,13 @@ struct PersistEntry
      */
     RegionId broadcastRegion = invalidRegion;
     std::uint32_t site = 0;        ///< boundary site id (when applicable)
+    /**
+     * ECC state of the queued entry. Nonzero only when the fault layer
+     * damaged it at crash time: 1 = detected bit flip, 2 = torn write.
+     * A damaged entry must never be applied to PM; the crash drain
+     * truncates to the epoch before the lowest damaged region instead.
+     */
+    std::uint8_t ecc = 0;
 };
 
 /** MC-to-MC (and router-to-MC) control messages of the LRPO protocol. */
@@ -50,6 +57,12 @@ struct McMsg
     Type type = Type::BdryArrival;
     RegionId region = invalidRegion;
     McId from = 0;
+    /**
+     * Nonzero only for BdryArrival copies sent while fault injection is
+     * armed: identifies the broadcast so the router can observe delivery
+     * and retry copies that a faulty link dropped.
+     */
+    std::uint64_t bcastId = 0;
 };
 
 /** Delivery target registered with the NoC. */

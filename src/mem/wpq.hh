@@ -148,6 +148,29 @@ class Wpq
             fn(e);
     }
 
+    /**
+     * Mutable entry access for the fault layer (crash-time bit flips and
+     * torn writes land directly in the battery-backed queue cells).
+     */
+    PersistEntry &
+    entryAt(std::size_t i)
+    {
+        LWSP_ASSERT(i < entries_.size(), "Wpq::entryAt out of range");
+        return entries_[i];
+    }
+
+    /** Smallest region with an ECC-damaged entry; invalidRegion if none. */
+    RegionId
+    minDamagedRegion() const
+    {
+        RegionId min = invalidRegion;
+        for (const auto &e : entries_) {
+            if (e.ecc != 0 && e.region < min)
+                min = e.region;
+        }
+        return min;
+    }
+
     void clear() { entries_.clear(); }
 
     // ---- Statistics ------------------------------------------------------

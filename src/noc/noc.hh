@@ -7,6 +7,21 @@
  * paper (§IV-B), MC-to-MC ACKs ride battery-backed links: on power failure
  * `deliverAllNow()` drains them so in-flight ACKs still reach their
  * targets, while anything a core had in flight simply dies with the core.
+ *
+ * Broadcast reliability: the paper assumes the router-to-MC links never
+ * lose a boundary broadcast. When the fault layer is armed we drop that
+ * assumption, and the router runs an ack/retry protocol instead of
+ * fire-and-forget: each broadcast copy carries a `bcastId`, delivery is
+ * observed per MC (a link-level ack, folded into the retry timeout
+ * rather than modelled as a separate message), and copies still
+ * undelivered when the timeout expires are re-sent with exponential
+ * backoff. The MC link port deduplicates by bcastId — the second copy
+ * of an already-delivered broadcast (a fault-injected duplicate, or a
+ * retry racing a merely-slow original) is filtered before it reaches
+ * the MC, keeping BdryArrival exactly-once. With the injector armed but
+ * all probabilities zero, every copy is delivered before its deadline
+ * and the pending entry is erased on arrival — timing and traces are
+ * bit-identical to the fire-and-forget path.
  */
 
 #ifndef LWSP_NOC_NOC_HH
@@ -16,9 +31,11 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "fault/fault.hh"
 #include "mem/persist.hh"
 #include "sim/clocked.hh"
 #include "sim/delay_line.hh"
+#include "trace/sink.hh"
 
 namespace lwsp {
 namespace noc {
@@ -27,7 +44,8 @@ class Noc : public Clocked
 {
   public:
     Noc(unsigned num_mcs, Tick hop_latency)
-        : Clocked("noc"), hopLatency_(hop_latency), inboxes_(num_mcs)
+        : Clocked("noc"), hopLatency_(hop_latency), inboxes_(num_mcs),
+          retryTimeout_(8 * (hop_latency ? hop_latency : 1))
     {
     }
 
@@ -39,6 +57,10 @@ class Noc : public Clocked
                     "endpoint count mismatch");
         endpoints_ = std::move(endpoints);
     }
+
+    /** Arm fault injection (null = perfect links, fire-and-forget). */
+    void setFaultInjector(fault::FaultInjector *f) { faults_ = f; }
+    void setTraceSink(trace::TraceSink *s) { sink_ = s; }
 
     unsigned numMcs() const { return static_cast<unsigned>(inboxes_.size()); }
 
@@ -58,8 +80,24 @@ class Noc : public Clocked
         mem::McMsg msg;
         msg.type = mem::McMsg::Type::BdryArrival;
         msg.region = region;
+        if (faults_ == nullptr) {
+            for (McId mc = 0; mc < inboxes_.size(); ++mc)
+                send(mc, msg, now);
+            ++boundariesBroadcast_;
+            return;
+        }
+        msg.bcastId = nextBcastId_++;
+        PendingBcast pb;
+        pb.id = msg.bcastId;
+        pb.region = region;
+        pb.pendingMask = (inboxes_.size() >= 64)
+                             ? ~0ull
+                             : ((1ull << inboxes_.size()) - 1);
+        pb.deadline = now + retryTimeout_;
+        bool pin_drop = faults_->pinnedBcastDrop(now);
         for (McId mc = 0; mc < inboxes_.size(); ++mc)
-            send(mc, msg, now);
+            sendFaulty(mc, msg, now, pin_drop);
+        pending_.push_back(pb);
         ++boundariesBroadcast_;
     }
 
@@ -69,9 +107,13 @@ class Noc : public Clocked
         for (McId mc = 0; mc < inboxes_.size(); ++mc) {
             while (inboxes_[mc].headReady(now)) {
                 mem::McMsg msg = inboxes_[mc].pop();
+                if (msg.bcastId != 0 && !markDelivered(msg.bcastId, mc))
+                    continue;  // duplicate copy: filtered at the port
                 endpoints_.at(mc)->receive(msg, now);
             }
         }
+        if (faults_ != nullptr && !pending_.empty())
+            retryExpired(now);
     }
 
     Tick
@@ -82,12 +124,20 @@ class Noc : public Clocked
             if (!inbox.empty())
                 next = std::min(next, std::max(now, inbox.headReadyTick()));
         }
+        for (const auto &pb : pending_) {
+            if (pb.pendingMask != 0)
+                next = std::min(next, std::max(now, pb.deadline));
+        }
         return next;
     }
 
     /**
      * Power failure: the MC-resident battery guarantees in-flight control
-     * messages reach their targets (paper §IV-B/F step 1).
+     * messages reach their targets (paper §IV-B/F step 1). The router
+     * itself is NOT battery-backed: broadcast copies a faulty link
+     * dropped and the router had not yet retried are lost for good — the
+     * crash drain then stops before the first region whose boundary is
+     * missing at some MC, and recovery degrades to that older epoch.
      */
     void
     deliverAllNow(Tick now)
@@ -95,8 +145,17 @@ class Noc : public Clocked
         for (McId mc = 0; mc < inboxes_.size(); ++mc) {
             while (!inboxes_[mc].empty()) {
                 mem::McMsg msg = inboxes_[mc].pop();
+                if (msg.bcastId != 0 && !markDelivered(msg.bcastId, mc))
+                    continue;  // duplicate copy: filtered at the port
                 endpoints_.at(mc)->receive(msg, now);
             }
+        }
+        if (faults_ != nullptr) {
+            for (const auto &pb : pending_) {
+                if (pb.pendingMask != 0)
+                    ++faults_->bcastLostAtCrash;
+            }
+            pending_.clear();
         }
     }
 
@@ -105,13 +164,104 @@ class Noc : public Clocked
     {
         return boundariesBroadcast_;
     }
+    std::uint64_t bcastRetries() const { return bcastRetries_; }
 
   private:
+    /** One not-yet-everywhere-delivered broadcast (fault mode only). */
+    struct PendingBcast
+    {
+        std::uint64_t id = 0;
+        RegionId region = invalidRegion;
+        std::uint64_t pendingMask = 0;  ///< bit per MC still undelivered
+        Tick deadline = 0;
+        unsigned attempts = 0;
+    };
+
+    /** Send one broadcast copy through the fault injector's fate roll. */
+    void
+    sendFaulty(McId mc, const mem::McMsg &msg, Tick now, bool pin_drop)
+    {
+        fault::BcastFate fate =
+            pin_drop ? fault::BcastFate::Drop : faults_->bcastFate();
+        ++messagesSent_;
+        switch (fate) {
+          case fault::BcastFate::Deliver:
+            inboxes_[mc].push(now, hopLatency_, msg);
+            break;
+          case fault::BcastFate::Drop:
+            ++faults_->bcastDrops;
+            break;
+          case fault::BcastFate::Delay:
+            ++faults_->bcastDelays;
+            inboxes_[mc].push(now, hopLatency_ + faults_->bcastDelayCycles(),
+                              msg);
+            break;
+          case fault::BcastFate::Duplicate:
+            ++faults_->bcastDups;
+            inboxes_[mc].push(now, hopLatency_, msg);
+            inboxes_[mc].push(now, hopLatency_, msg);
+            break;
+        }
+    }
+
+    /** @return true on first delivery to @p mc, false for a duplicate. */
+    bool
+    markDelivered(std::uint64_t id, McId mc)
+    {
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->id != id)
+                continue;
+            if (!(it->pendingMask & (1ull << mc)))
+                return false;  // this MC already got a copy
+            it->pendingMask &= ~(1ull << mc);
+            if (it->pendingMask == 0)
+                pending_.erase(it);
+            return true;
+        }
+        // The broadcast is complete everywhere: a late duplicate.
+        return false;
+    }
+
+    /** Re-send undelivered copies whose retry deadline has passed. */
+    void
+    retryExpired(Tick now)
+    {
+        for (auto &pb : pending_) {
+            if (pb.pendingMask == 0 || now < pb.deadline)
+                continue;
+            ++pb.attempts;
+            ++bcastRetries_;
+            ++faults_->bcastRetries;
+            mem::McMsg msg;
+            msg.type = mem::McMsg::Type::BdryArrival;
+            msg.region = pb.region;
+            msg.bcastId = pb.id;
+            for (McId mc = 0; mc < inboxes_.size(); ++mc) {
+                if (pb.pendingMask & (1ull << mc))
+                    sendFaulty(mc, msg, now, false);
+            }
+            // Exponential backoff, capped so deadlines stay sane.
+            unsigned shift = std::min(pb.attempts, 6u);
+            pb.deadline = now + (retryTimeout_ << shift);
+            trace::emitIf<trace::Category::Boundary>(
+                sink_, {now, trace::EventType::BcastRetry, -1, 0, pb.region,
+                        0, pb.id, pb.attempts});
+        }
+    }
+
     Tick hopLatency_;
     std::vector<DelayLine<mem::McMsg>> inboxes_;
     std::vector<mem::McEndpoint *> endpoints_;
     std::uint64_t messagesSent_ = 0;
     std::uint64_t boundariesBroadcast_ = 0;
+
+    // Fault-mode state (empty/unused when faults_ is null).
+    fault::FaultInjector *faults_ = nullptr;
+    trace::TraceSink *sink_ = nullptr;
+    Tick retryTimeout_;
+    std::uint64_t nextBcastId_ = 1;
+    std::uint64_t bcastRetries_ = 0;
+    std::vector<PendingBcast> pending_;
 };
 
 } // namespace noc

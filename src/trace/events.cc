@@ -25,6 +25,9 @@ eventTypeName(EventType t)
       case EventType::CrashDrainEnd: return "crash-drain-end";
       case EventType::Recovery: return "recovery";
       case EventType::CtxSwitch: return "ctx-switch";
+      case EventType::BcastRetry: return "bcast-retry";
+      case EventType::FaultInjected: return "fault-injected";
+      case EventType::RecoveryVerdict: return "recovery-verdict";
     }
     return "<bad>";
 }

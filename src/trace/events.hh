@@ -94,10 +94,20 @@ enum class EventType : std::uint8_t
 
     // Category::Sched
     CtxSwitch,        ///< core switched threads (unit=core)
+
+    // Appended after the fault-injection subsystem landed; new types go
+    // at the end so the binary trace format stays bit-compatible.
+
+    // Category::Boundary
+    BcastRetry,       ///< router re-sent a lost broadcast (aux=attempt)
+
+    // Category::Power
+    FaultInjected,    ///< fault layer acted (value=axis, aux=detail)
+    RecoveryVerdict,  ///< recovery classified (value=RecoveryOutcome)
 };
 
 constexpr std::uint8_t numEventTypes =
-    static_cast<std::uint8_t>(EventType::CtxSwitch) + 1;
+    static_cast<std::uint8_t>(EventType::RecoveryVerdict) + 1;
 
 /** The Category an EventType belongs to. */
 constexpr Category
@@ -111,6 +121,7 @@ categoryOf(EventType t)
       case EventType::BoundaryBcastSend:
       case EventType::BoundaryBcastRecv:
       case EventType::BoundaryAck:
+      case EventType::BcastRetry:
         return Category::Boundary;
       case EventType::WpqEnqueue:
       case EventType::WpqRelease:
@@ -123,6 +134,8 @@ categoryOf(EventType t)
       case EventType::PowerFailure:
       case EventType::CrashDrainEnd:
       case EventType::Recovery:
+      case EventType::FaultInjected:
+      case EventType::RecoveryVerdict:
         return Category::Power;
       case EventType::CtxSwitch:
         return Category::Sched;

@@ -206,6 +206,7 @@ mcScoped(EventType t)
       case EventType::WpqEnqueue:
       case EventType::WpqRelease:
       case EventType::WpqDrainDone:
+      case EventType::FaultInjected:  // unit = damaged/stalled MC (or -1)
         return true;
       default:
         return false;
