@@ -5,6 +5,7 @@
  *
  *   lwsp_cli list                       # the paper-app workload roster
  *   lwsp_cli compile <app|file.lir>     # dump compiled LightIR + stats
+ *   lwsp_cli verify <app|file.lir>      # static WSP-invariant check
  *   lwsp_cli run <app> [scheme]         # simulate and print run stats
  *   lwsp_cli crash <app> <fraction>     # crash + recover + verify
  *
@@ -29,6 +30,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/wsp_checker.hh"
 #include "compiler/compiler.hh"
 #include "core/system.hh"
 #include "harness/runner.hh"
@@ -46,6 +48,7 @@ usage()
     std::fprintf(stderr,
                  "usage: lwsp_cli list\n"
                  "       lwsp_cli compile <app|file.lir>\n"
+                 "       lwsp_cli verify <app|file.lir>\n"
                  "       lwsp_cli run <app> [scheme] [--trace-out FILE]"
                  " [--stats-json FILE] [--faults SPEC]\n"
                  "       lwsp_cli crash <app> <fraction 0..1>"
@@ -110,6 +113,18 @@ cmdList()
                     pat);
     }
     return 0;
+}
+
+int
+cmdVerify(const std::string &what)
+{
+    auto m = loadModule(what);
+    compiler::CompilerConfig cfg;
+    compiler::LightWspCompiler comp(cfg);
+    auto prog = comp.compile(std::move(m));
+    analysis::CheckReport rep = analysis::checkCompiledProgram(prog, cfg);
+    std::printf("%s: %s\n", what.c_str(), rep.describe().c_str());
+    return rep.ok() ? 0 : 1;
 }
 
 int
@@ -335,6 +350,8 @@ main(int argc, char **argv)
             return cmdList();
         if (cmd == "compile" && argc == 3)
             return cmdCompile(argv[2]);
+        if (cmd == "verify" && argc == 3)
+            return cmdVerify(argv[2]);
         if (cmd == "run" && argc >= 3) {
             std::string scheme = "lightwsp", trace_out, stats_json;
             std::string faults;

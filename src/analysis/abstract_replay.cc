@@ -1,0 +1,695 @@
+/**
+ * @file
+ * Checkpoint coverage, recipe soundness and recoverability: an abstract
+ * replay of `System::recover` at every resume site.
+ *
+ * Recovery restores all 16 registers from their PM slots, then applies
+ * the site's recipes in order (cpu/thread_context.cc recoverAt). For a
+ * resume at boundary B this reconstructs register r correctly iff
+ *
+ *   - r's slot provably holds r's value as of B (a CkptStore with no
+ *     intervening redefinition reached B on every path), or
+ *   - the last recipe for r is Const(v) and r == v is provable at B, or
+ *   - the last recipe for r is AddSlot(src, d), r == slot[src] + d is
+ *     provable at B, and slot[src] is provably current;
+ *
+ * and only registers live across B matter — anything else is dead on
+ * every resume path. Liveness and value facts are derived by this file's
+ * own interprocedural analyses, which intentionally mirror the *lattice
+ * and transfer semantics* of the compiler's ModuleLiveness / ConstProp
+ * (so sound pruning decisions check out at equal precision) while
+ * sharing none of their code.
+ */
+
+#include <algorithm>
+
+#include "analysis/internal.hh"
+
+namespace lwsp {
+namespace analysis {
+
+using namespace ir;
+
+// ---------------------------------------------------------------------
+// LivenessOracle
+// ---------------------------------------------------------------------
+
+RegMask
+LivenessOracle::instUse(FuncId f, const Instruction &inst) const
+{
+    switch (inst.op) {
+      case Opcode::Mov:
+      case Opcode::AddI:
+      case Opcode::MulI:
+      case Opcode::Load:
+      case Opcode::LockAcq:
+      case Opcode::LockRel:
+        return regBit(inst.rs1);
+      case Opcode::CkptStore:
+        // NOT a use, deliberately diverging from the compiler's
+        // ModuleLiveness: the compiler derives placement from the
+        // ckpt-stripped module, so a register consumed only by later
+        // CkptStores is not value-live — a stale restore of it is
+        // never observable. Counting it here would demand coverage the
+        // compiler correctly never provides (e.g. through a callee
+        // whose entry checkpoints the register).
+        return 0;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Store:
+      case Opcode::AtomicAdd:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return regBit(inst.rs1) | regBit(inst.rs2);
+      case Opcode::Fma:
+        return regBit(inst.rs1) | regBit(inst.rs2) | regBit(inst.rd);
+      case Opcode::Call:
+        return funcUse_.at(inst.callee) | regBit(spReg);
+      case Opcode::Ret:
+        return funcLiveOut_.at(f) | regBit(spReg);
+      default:
+        return 0;
+    }
+}
+
+RegMask
+LivenessOracle::instDef(const Instruction &inst) const
+{
+    if (writesReg(inst.op))
+        return regBit(inst.rd);
+    if (inst.op == Opcode::Call)
+        return funcDef_.at(inst.callee) | regBit(spReg);
+    if (inst.op == Opcode::Ret)
+        return regBit(spReg);
+    return 0;
+}
+
+LivenessOracle::LivenessOracle(const Module &m)
+    : m_(m), blockIn_(m.numFunctions()), blockOut_(m.numFunctions()),
+      funcUse_(m.numFunctions(), 0), funcDef_(m.numFunctions(), 0),
+      funcLiveOut_(m.numFunctions(), 0)
+{
+    for (FuncId f = 0; f < m.numFunctions(); ++f) {
+        blockIn_[f].assign(m.function(f).numBlocks(), 0);
+        blockOut_[f].assign(m.function(f).numBlocks(), 0);
+    }
+
+    bool module_changed = true;
+    while (module_changed) {
+        module_changed = false;
+        for (FuncId f = 0; f < m.numFunctions(); ++f) {
+            const Function &fn = m.function(f);
+            Cfg cfg(fn);
+
+            bool changed = true;
+            while (changed) {
+                changed = false;
+                const auto &rpo = cfg.reversePostOrder();
+                for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+                    BlockId b = *it;
+                    RegMask out = 0;
+                    for (BlockId s : cfg.successors(b))
+                        out |= blockIn_[f][s];
+                    RegMask in = out;
+                    const auto &insts = fn.block(b).insts();
+                    for (auto ri = insts.rbegin(); ri != insts.rend();
+                         ++ri) {
+                        in &= ~instDef(*ri);
+                        in |= instUse(f, *ri);
+                    }
+                    if (out != blockOut_[f][b] || in != blockIn_[f][b]) {
+                        blockOut_[f][b] = out;
+                        blockIn_[f][b] = in;
+                        changed = true;
+                        module_changed = true;
+                    }
+                }
+            }
+
+            RegMask new_use = funcUse_[f] | blockIn_[f][0];
+            RegMask new_def = funcDef_[f];
+            for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+                for (const auto &inst : fn.block(b).insts())
+                    new_def |= instDef(inst);
+            }
+            if (new_use != funcUse_[f] || new_def != funcDef_[f]) {
+                funcUse_[f] = new_use;
+                funcDef_[f] = new_def;
+                module_changed = true;
+            }
+
+            for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+                const auto &insts = fn.block(b).insts();
+                for (std::size_t i = 0; i < insts.size(); ++i) {
+                    if (insts[i].op != Opcode::Call)
+                        continue;
+                    RegMask after = liveAfter(f, b, i);
+                    FuncId callee = insts[i].callee;
+                    RegMask merged = funcLiveOut_[callee] | after;
+                    if (merged != funcLiveOut_[callee]) {
+                        funcLiveOut_[callee] = merged;
+                        module_changed = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+RegMask
+LivenessOracle::liveAfter(FuncId f, BlockId b, std::size_t idx) const
+{
+    const auto &insts = m_.function(f).block(b).insts();
+    LWSP_ASSERT(idx < insts.size(), "liveAfter: bad index");
+    RegMask live = blockOut_.at(f).at(b);
+    for (std::size_t i = insts.size(); i-- > idx + 1;) {
+        live &= ~instDef(insts[i]);
+        live |= instUse(f, insts[i]);
+    }
+    return live;
+}
+
+// ---------------------------------------------------------------------
+// ValueOracle
+// ---------------------------------------------------------------------
+
+namespace {
+
+using AbsVal = ValueOracle::AbsVal;
+
+AbsVal::C
+meetC(const AbsVal &a, const AbsVal &b, std::int64_t &constant)
+{
+    if (a.c == AbsVal::C::Unknown) {
+        constant = b.constant;
+        return b.c;
+    }
+    if (b.c == AbsVal::C::Unknown) {
+        constant = a.constant;
+        return a.c;
+    }
+    if (a.c == AbsVal::C::Const && b.c == AbsVal::C::Const &&
+        a.constant == b.constant) {
+        constant = a.constant;
+        return AbsVal::C::Const;
+    }
+    constant = 0;
+    return AbsVal::C::Varying;
+}
+
+bool
+sameState(const ValueOracle::State &a, const ValueOracle::State &b)
+{
+    if (a.reached != b.reached)
+        return false;
+    for (Reg r = 0; r < numGprs; ++r) {
+        const AbsVal &x = a.regs[r], &y = b.regs[r];
+        if (x.c != y.c || (x.c == AbsVal::C::Const &&
+                           x.constant != y.constant))
+            return false;
+        if (x.slotCurrent != y.slotCurrent ||
+            x.hasSlotRel != y.hasSlotRel)
+            return false;
+        if (x.hasSlotRel &&
+            (x.slotSrc != y.slotSrc || x.slotDelta != y.slotDelta))
+            return false;
+    }
+    return true;
+}
+
+/** Drop every slot fact (used at call-entry merges: callee inherits
+ *  nothing provable about slot currency). */
+void
+clearSlotFacts(ValueOracle::State &st)
+{
+    for (Reg r = 0; r < numGprs; ++r) {
+        st.regs[r].slotCurrent = false;
+        st.regs[r].hasSlotRel = false;
+    }
+}
+
+} // namespace
+
+void
+ValueOracle::join(State &into, const State &from) const
+{
+    if (!from.reached)
+        return;
+    if (!into.reached) {
+        into = from;
+        return;
+    }
+    for (Reg r = 0; r < numGprs; ++r) {
+        AbsVal &x = into.regs[r];
+        const AbsVal &y = from.regs[r];
+        x.c = meetC(x, y, x.constant);
+        x.slotCurrent = x.slotCurrent && y.slotCurrent;
+        if (x.hasSlotRel &&
+            !(y.hasSlotRel && y.slotSrc == x.slotSrc &&
+              y.slotDelta == x.slotDelta)) {
+            x.hasSlotRel = false;
+        }
+    }
+}
+
+void
+ValueOracle::transfer(const Instruction &inst, State &st) const
+{
+    auto &regs = st.regs;
+    auto varying = [&](Reg r) {
+        regs[r].c = AbsVal::C::Varying;
+        regs[r].constant = 0;
+        regs[r].slotCurrent = false;
+        regs[r].hasSlotRel = false;
+    };
+    // A definition of rd invalidates rd's slot facts (the slot now holds
+    // a stale value); derived const / slot-relative facts are installed
+    // by the per-opcode cases below from the *pre-transfer* operands.
+    auto define = [&](Reg rd, AbsVal v) {
+        v.slotCurrent = false;
+        regs[rd] = v;
+    };
+    // Slot-relative view of rs1 usable to derive a fact about a copy or
+    // offset of it: rs1 == slot[src] + delta.
+    auto relOf = [&](Reg rs1, Reg &src, std::int64_t &delta) {
+        if (regs[rs1].slotCurrent) {
+            src = rs1;
+            delta = 0;
+            return true;
+        }
+        if (regs[rs1].hasSlotRel) {
+            src = regs[rs1].slotSrc;
+            delta = regs[rs1].slotDelta;
+            return true;
+        }
+        return false;
+    };
+
+    switch (inst.op) {
+      case Opcode::Movi: {
+        AbsVal v;
+        v.c = AbsVal::C::Const;
+        v.constant = inst.imm;
+        define(inst.rd, v);
+        break;
+      }
+      case Opcode::Mov: {
+        if (inst.rd == inst.rs1)
+            break;  // value unchanged; every fact survives
+        AbsVal v = regs[inst.rs1];
+        Reg src;
+        std::int64_t delta;
+        v.hasSlotRel = relOf(inst.rs1, src, delta);
+        if (v.hasSlotRel) {
+            v.slotSrc = src;
+            v.slotDelta = delta;
+        }
+        define(inst.rd, v);
+        break;
+      }
+      case Opcode::AddI: {
+        AbsVal v;
+        if (regs[inst.rs1].isConst()) {
+            v.c = AbsVal::C::Const;
+            v.constant = regs[inst.rs1].constant + inst.imm;
+        } else {
+            v.c = AbsVal::C::Varying;
+        }
+        Reg src;
+        std::int64_t delta;
+        if (relOf(inst.rs1, src, delta)) {
+            v.hasSlotRel = true;
+            v.slotSrc = src;
+            v.slotDelta = delta + inst.imm;
+        }
+        define(inst.rd, v);
+        break;
+      }
+      case Opcode::MulI: {
+        AbsVal v;
+        if (regs[inst.rs1].isConst()) {
+            v.c = AbsVal::C::Const;
+            v.constant = regs[inst.rs1].constant * inst.imm;
+        } else {
+            v.c = AbsVal::C::Varying;
+        }
+        define(inst.rd, v);
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr: {
+        const AbsVal &a = regs[inst.rs1];
+        const AbsVal &b = regs[inst.rs2];
+        AbsVal v;
+        if (a.isConst() && b.isConst()) {
+            auto ua = static_cast<std::uint64_t>(a.constant);
+            auto ub = static_cast<std::uint64_t>(b.constant);
+            std::uint64_t res = 0;
+            switch (inst.op) {
+              case Opcode::Add: res = ua + ub; break;
+              case Opcode::Sub: res = ua - ub; break;
+              case Opcode::Mul: res = ua * ub; break;
+              case Opcode::Div: res = ub ? ua / ub : 0; break;
+              case Opcode::And: res = ua & ub; break;
+              case Opcode::Or:  res = ua | ub; break;
+              case Opcode::Xor: res = ua ^ ub; break;
+              case Opcode::Shl: res = ua << (ub & 63); break;
+              case Opcode::Shr: res = ua >> (ub & 63); break;
+              default: break;
+            }
+            v.c = AbsVal::C::Const;
+            v.constant = static_cast<std::int64_t>(res);
+        } else {
+            v.c = AbsVal::C::Varying;
+        }
+        define(inst.rd, v);
+        break;
+      }
+      case Opcode::Fma:
+      case Opcode::Load:
+        varying(inst.rd);
+        break;
+      case Opcode::CkptStore: {
+        Reg r = inst.rs1;
+        // slot[r] := r. Other registers' slot-relative facts against
+        // slot[r] survive only if the slot content does not change,
+        // i.e. it was already current.
+        if (!regs[r].slotCurrent) {
+            for (Reg o = 0; o < numGprs; ++o) {
+                if (regs[o].hasSlotRel && regs[o].slotSrc == r)
+                    regs[o].hasSlotRel = false;
+            }
+        }
+        regs[r].slotCurrent = true;
+        regs[r].hasSlotRel = true;
+        regs[r].slotSrc = r;
+        regs[r].slotDelta = 0;
+        break;
+      }
+      case Opcode::Call: {
+        RegMask killed = live_.funcDef(inst.callee) | regBit(spReg);
+        for (Reg r = 0; r < numGprs; ++r) {
+            if (killed & regBit(r))
+                varying(r);
+            // The callee may checkpoint any register from its own
+            // sites, rewriting arbitrary slots: no slot-relative fact
+            // survives a call. slotCurrent survives for registers the
+            // callee provably does not write — a callee CkptStore of
+            // such a register rewrites the slot with the same value.
+            regs[r].hasSlotRel = false;
+        }
+        break;
+      }
+      case Opcode::Ret:
+        varying(spReg);
+        break;
+      default:
+        break;  // stores, branches, sync ops, boundaries: no reg effect
+    }
+}
+
+ValueOracle::ValueOracle(const Module &m, const LivenessOracle &live)
+    : m_(m), live_(live), blockIn_(m.numFunctions()),
+      funcEntry_(m.numFunctions())
+{
+    for (FuncId f = 0; f < m.numFunctions(); ++f)
+        blockIn_[f].assign(m.function(f).numBlocks(), State{});
+
+    // Thread spawn gives the entry function runtime register state
+    // (r0 = tid, r15 = sp, rest zero) over unwritten slots: nothing
+    // provable. Callee entries accumulate callsite joins below.
+    funcEntry_[0].reached = true;
+    for (auto &v : funcEntry_[0].regs)
+        v.c = AbsVal::C::Varying;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (FuncId f = 0; f < m.numFunctions(); ++f) {
+            const Function &fn = m.function(f);
+            Cfg cfg(fn);
+            for (BlockId b : cfg.reversePostOrder()) {
+                State in;
+                if (b == 0) {
+                    in = funcEntry_[f];
+                } else {
+                    for (BlockId p : cfg.predecessors(b)) {
+                        if (!cfg.reachable(p))
+                            continue;
+                        State pout = blockIn_[f][p];
+                        if (pout.reached) {
+                            for (const auto &inst : fn.block(p).insts())
+                                transfer(inst, pout);
+                        }
+                        join(in, pout);
+                    }
+                }
+                if (!sameState(in, blockIn_[f][b])) {
+                    blockIn_[f][b] = in;
+                    changed = true;
+                }
+
+                State walk = blockIn_[f][b];
+                if (!walk.reached)
+                    continue;
+                for (const auto &inst : fn.block(b).insts()) {
+                    if (inst.op == Opcode::Call &&
+                        inst.callee < m.numFunctions()) {
+                        State callee_in = walk;
+                        callee_in.regs[spReg].c = AbsVal::C::Varying;
+                        callee_in.regs[spReg].constant = 0;
+                        clearSlotFacts(callee_in);
+                        State merged = funcEntry_[inst.callee];
+                        join(merged, callee_in);
+                        if (!sameState(merged,
+                                       funcEntry_[inst.callee])) {
+                            funcEntry_[inst.callee] = merged;
+                            changed = true;
+                        }
+                    }
+                    transfer(inst, walk);
+                }
+            }
+        }
+    }
+}
+
+ValueOracle::State
+ValueOracle::stateBefore(FuncId f, BlockId b, std::size_t idx) const
+{
+    State s = blockIn_.at(f).at(b);
+    if (!s.reached)
+        return s;
+    const auto &insts = m_.function(f).block(b).insts();
+    LWSP_ASSERT(idx <= insts.size(), "stateBefore: bad index");
+    for (std::size_t i = 0; i < idx; ++i)
+        transfer(insts[i], s);
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Recovery replay at every resume site
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+regName(Reg r)
+{
+    return "r" + std::to_string(unsigned(r));
+}
+
+class ReplayChecker
+{
+  public:
+    ReplayChecker(const Module &m, const CheckOptions &opt,
+                  bool prune_enabled,
+                  const std::vector<compiler::BoundarySite> *sites,
+                  CheckReport &report)
+        : m_(m), opt_(opt), prune_(prune_enabled), sites_(sites),
+          report_(report), live_(m), values_(m, live_)
+    {
+        auto reachable = reachableFunctions(m);
+        for (FuncId f = 0; f < m.numFunctions(); ++f) {
+            if (!reachable[f])
+                continue;
+            Cfg cfg(m.function(f));
+            for (BlockId b = 0; b < m.function(f).numBlocks(); ++b) {
+                if (cfg.reachable(b))
+                    checkBlock(f, b);
+            }
+        }
+    }
+
+  private:
+    void
+    checkBlock(FuncId f, BlockId b)
+    {
+        const auto &insts = m_.function(f).block(b).insts();
+        ValueOracle::State st = values_.stateBefore(f, b, 0);
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            if (insts[i].op == Opcode::Boundary && st.reached) {
+                checkSite(f, b, i, st);
+                ++report_.sitesChecked;
+            }
+            values_.transfer(insts[i], st);
+        }
+    }
+
+    /** Last recipe for @p r wins (recoverAt applies them in order). */
+    const compiler::CkptRecipe *
+    recipeFor(const std::vector<compiler::CkptRecipe> &recipes, Reg r)
+    {
+        const compiler::CkptRecipe *found = nullptr;
+        for (const auto &rec : recipes) {
+            if (rec.reg == r)
+                found = &rec;
+        }
+        return found;
+    }
+
+    const std::vector<compiler::CkptRecipe> *
+    siteRecipes(FuncId f, BlockId b, std::size_t i,
+                const Instruction &inst)
+    {
+        if (!sites_)
+            return nullptr;
+        auto id = static_cast<std::uint64_t>(inst.imm);
+        if (id >= sites_->size())
+            return nullptr;  // SiteTable checks report the bad id
+        const auto &site = (*sites_)[id];
+        if (site.func != f || site.block != b || site.instIndex != i)
+            return nullptr;  // likewise
+        return &site.recipes;
+    }
+
+    void
+    checkSite(FuncId f, BlockId b, std::size_t i,
+              const ValueOracle::State &st)
+    {
+        const auto &insts = m_.function(f).block(b).insts();
+        if (i + 1 >= insts.size()) {
+            emit(Obligation::Recoverability, f, b, i,
+                 "resume point past the end of the block: recovery at "
+                 "this site cannot execute");
+            return;
+        }
+
+        static const std::vector<compiler::CkptRecipe> none;
+        const auto *recipes = siteRecipes(f, b, i, insts[i]);
+        RegMask live = live_.liveAfter(f, b, i);
+        for (Reg r = 0; r < numGprs; ++r) {
+            if (!(live & regBit(r)))
+                continue;
+            checkReg(f, b, i, st, recipes ? *recipes : none, r,
+                     recipes != nullptr);
+        }
+    }
+
+    void
+    checkReg(FuncId f, BlockId b, std::size_t i,
+             const ValueOracle::State &st,
+             const std::vector<compiler::CkptRecipe> &recipes, Reg r,
+             bool have_recipes)
+    {
+        const auto &v = st.regs[r];
+        if (const auto *rec = recipeFor(recipes, r)) {
+            if (rec->kind == compiler::CkptRecipe::Kind::Const) {
+                if (!v.isConst()) {
+                    emit(Obligation::RecipeSoundness, f, b, i,
+                         "Const recipe for " + regName(r) +
+                             " claims value " + std::to_string(rec->imm) +
+                             " but the register is not provably "
+                             "constant here");
+                } else if (v.constant != rec->imm) {
+                    emit(Obligation::RecipeSoundness, f, b, i,
+                         "Const recipe for " + regName(r) +
+                             " claims value " + std::to_string(rec->imm) +
+                             " but analysis proves " +
+                             std::to_string(v.constant));
+                }
+            } else {  // AddSlot
+                if (!(v.hasSlotRel && v.slotSrc == rec->src &&
+                      v.slotDelta == rec->imm)) {
+                    emit(Obligation::RecipeSoundness, f, b, i,
+                         "AddSlot recipe for " + regName(r) +
+                             " (slot " + regName(rec->src) + " + " +
+                             std::to_string(rec->imm) + ") does not "
+                             "match any provable slot-relative value");
+                } else if (!st.regs[rec->src].slotCurrent) {
+                    emit(Obligation::RecipeSoundness, f, b, i,
+                         "AddSlot recipe for " + regName(r) +
+                             " reads slot " + regName(rec->src) +
+                             ", which is not provably current");
+                }
+            }
+            return;
+        }
+        if (v.slotCurrent)
+            return;
+        if (!opt_.sitesAssigned && prune_ && v.isConst())
+            return;  // the recipe pass will cover exactly this case
+        emit(Obligation::CkptCoverage, f, b, i,
+             regName(r) + " is live across this boundary but has "
+             "neither a provably current checkpoint slot nor a " +
+             (have_recipes ? "recipe" : "provable recovery path"));
+    }
+
+    void
+    emit(Obligation ob, FuncId f, BlockId b, std::size_t i,
+         std::string msg)
+    {
+        if (emitted_ >= maxEmitted_) {
+            if (emitted_ == maxEmitted_) {
+                addViolation(report_.violations, ob, invalidFunc,
+                             invalidBlock, ~0u,
+                             "further recovery findings suppressed");
+                ++emitted_;
+            }
+            return;
+        }
+        ++emitted_;
+        addViolation(report_.violations, ob, f, b,
+                     static_cast<std::uint32_t>(i), std::move(msg));
+    }
+
+    const Module &m_;
+    const CheckOptions &opt_;
+    const bool prune_;
+    const std::vector<compiler::BoundarySite> *sites_;
+    CheckReport &report_;
+    LivenessOracle live_;
+    ValueOracle values_;
+    unsigned emitted_ = 0;
+    static constexpr unsigned maxEmitted_ = 32;
+};
+
+} // namespace
+
+void
+checkRecoverability(const Module &m, const CheckOptions &opt,
+                    bool prune_enabled,
+                    const std::vector<compiler::BoundarySite> *sites,
+                    CheckReport &report)
+{
+    ReplayChecker run(m, opt, prune_enabled, sites, report);
+}
+
+} // namespace analysis
+} // namespace lwsp

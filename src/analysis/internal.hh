@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Internals shared by the WSP checker's translation units: the
+ * independent liveness and abstract-value analyses, and the common
+ * violation-collection plumbing. Not installed; include only from
+ * src/analysis.
+ *
+ * These analyses deliberately re-implement (rather than reuse) the
+ * compiler's ModuleLiveness / ConstProp with the same lattices and
+ * transfer semantics: the checker must not trust the implementation it
+ * is auditing, but it must match its precision — a checker weaker than
+ * the pruning analysis would flag sound pruned sites as uncovered.
+ */
+
+#ifndef LWSP_ANALYSIS_INTERNAL_HH
+#define LWSP_ANALYSIS_INTERNAL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/wsp_checker.hh"
+#include "compiler/liveness.hh"  // RegMask / regBit / spReg constants only
+#include "ir/cfg.hh"
+#include "ir/program.hh"
+
+namespace lwsp {
+namespace analysis {
+
+using compiler::RegMask;
+using compiler::allRegs;
+using compiler::regBit;
+using compiler::spReg;
+
+/** Append a located violation to @p out. */
+void addViolation(std::vector<Violation> &out, Obligation ob,
+                  ir::FuncId f, ir::BlockId b, std::uint32_t idx,
+                  std::string msg);
+
+/**
+ * Functions reachable from the entry function through Call edges
+ * (index 0 is always reachable). Unreached functions are dead code:
+ * no thread can execute them, so no obligation applies.
+ */
+std::vector<bool> reachableFunctions(const ir::Module &m);
+
+/** @return true if any reachable function calls @p f. */
+std::vector<bool> calledFunctions(const ir::Module &m);
+
+/**
+ * Independent interprocedural liveness over the 16 GPRs. Same summary
+ * scheme as the compiler's: funcUse (read-before-write at entry),
+ * funcDef (transitively clobbered), funcLiveOut (live after any
+ * callsite); Call/Ret implicitly use+define the stack pointer.
+ */
+class LivenessOracle
+{
+  public:
+    explicit LivenessOracle(const ir::Module &m);
+
+    RegMask liveAfter(ir::FuncId f, ir::BlockId b, std::size_t idx) const;
+
+    RegMask instUse(ir::FuncId f, const ir::Instruction &inst) const;
+    RegMask instDef(const ir::Instruction &inst) const;
+    RegMask funcDef(ir::FuncId f) const { return funcDef_.at(f); }
+
+  private:
+    const ir::Module &m_;
+    std::vector<std::vector<RegMask>> blockIn_;
+    std::vector<std::vector<RegMask>> blockOut_;
+    std::vector<RegMask> funcUse_, funcDef_, funcLiveOut_;
+};
+
+/**
+ * Forward abstract interpretation used by the recovery replay: per
+ * register a constness lattice (Unknown < Const(v) < Varying, matching
+ * the pruning analysis so recipes can be re-proved at equal precision)
+ * plus two slot facts —
+ *  - slotCurrent: PM slot r provably holds r's current value on every
+ *    path (established only by an actual CkptStore, killed by any
+ *    redefinition of r and conservatively by calls);
+ *  - a slot-relative view r == slot[src] + delta (how AddSlot recipes
+ *    are validated), killed when slot[src] may be rewritten.
+ */
+class ValueOracle
+{
+  public:
+    struct AbsVal
+    {
+        enum class C : std::uint8_t { Unknown, Const, Varying };
+        C c = C::Unknown;
+        std::int64_t constant = 0;
+
+        bool slotCurrent = false;
+        bool hasSlotRel = false;
+        ir::Reg slotSrc = 0;
+        std::int64_t slotDelta = 0;
+
+        bool isConst() const { return c == C::Const; }
+    };
+
+    struct State
+    {
+        std::array<AbsVal, ir::numGprs> regs;
+        bool reached = false;  ///< block never joined any path
+    };
+
+    ValueOracle(const ir::Module &m, const LivenessOracle &live);
+
+    /** Abstract state just before instruction @p idx of (f, b). */
+    State stateBefore(ir::FuncId f, ir::BlockId b, std::size_t idx) const;
+
+    void transfer(const ir::Instruction &inst, State &st) const;
+
+  private:
+    void join(State &into, const State &from) const;
+
+    const ir::Module &m_;
+    const LivenessOracle &live_;
+    std::vector<std::vector<State>> blockIn_;
+    std::vector<State> funcEntry_;
+};
+
+/**
+ * Independent max-over-paths persist-entry analysis (the StoreBound
+ * obligation). Defined in store_bound.cc.
+ */
+void checkStoreBound(const ir::Module &m, unsigned storeThreshold,
+                     bool waive, CheckReport &report);
+
+/** Coverage / recipe / recoverability replay. In abstract_replay.cc. */
+void checkRecoverability(const ir::Module &m,
+                         const CheckOptions &opt, bool prune_enabled,
+                         const std::vector<compiler::BoundarySite> *sites,
+                         CheckReport &report);
+
+} // namespace analysis
+} // namespace lwsp
+
+#endif // LWSP_ANALYSIS_INTERNAL_HH

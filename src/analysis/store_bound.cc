@@ -1,0 +1,254 @@
+/**
+ * @file
+ * StoreBound: independent max-over-paths persist-entry analysis.
+ *
+ * Counts what the persist path (WPQ) actually sees between region-ending
+ * events, from instruction semantics (cpu/thread_context.cc) rather than
+ * the compiler's isPersistEntry() model:
+ *
+ *  - Store / CkptStore: one data store each.
+ *  - Call: one store (the return-address push into persisted stack
+ *    memory) that lands in the *caller's current region*, which remains
+ *    open into the callee until the callee's first boundary fires. This
+ *    inflow is the interprocedural edge the compiler's per-function
+ *    dataflow historically missed.
+ *  - Fence: one marker store (pcSlot + 16), and the fence itself ends
+ *    the current region (fused boundary, no PC checkpoint); its marker
+ *    opens the next region.
+ *  - AtomicAdd / LockAcq / LockRel: like Fence but the op's own data
+ *    store opens the next region.
+ *  - Boundary: the PC-checkpointing store closes the region *including
+ *    itself*; Halt closes it with the halt-sentinel PC store.
+ *
+ * A region may hold at most `budget + 1` entries where budget is the
+ * compiler's reservation (storeThreshold - 1, clamped to >= 1): budget
+ * data entries plus the closing PC store. Counters saturate just above
+ * that capacity, which both bounds the fixpoint and keeps a storeful
+ * cycle with no boundary detectable.
+ */
+
+#include <algorithm>
+
+#include "analysis/internal.hh"
+
+namespace lwsp {
+namespace analysis {
+
+using namespace ir;
+
+namespace {
+
+struct BoundState
+{
+    // Max persist entries accumulated since the last region end, at
+    // block entry, for every reachable block of every function.
+    std::vector<std::vector<unsigned>> in;
+    std::vector<std::vector<unsigned>> out;
+    std::vector<unsigned> callIn;  ///< max inflow at callee entry
+    std::vector<unsigned> retOut;  ///< max count at any Ret of f
+};
+
+class StoreBoundAnalysis
+{
+  public:
+    StoreBoundAnalysis(const Module &m, unsigned threshold, bool waive,
+                       CheckReport &report)
+        : m_(m), report_(report), waive_(waive),
+          budget_(threshold > 1 ? threshold - 1 : 1),
+          capacity_(budget_ + 1), cap_(capacity_ + 1),
+          reachableFn_(reachableFunctions(m))
+    {
+        st_.in.resize(m.numFunctions());
+        st_.out.resize(m.numFunctions());
+        st_.callIn.assign(m.numFunctions(), 0);
+        st_.retOut.assign(m.numFunctions(), 0);
+        for (FuncId f = 0; f < m.numFunctions(); ++f) {
+            st_.in[f].assign(m.function(f).numBlocks(), 0);
+            st_.out[f].assign(m.function(f).numBlocks(), 0);
+            cfgs_.emplace_back(m.function(f));
+        }
+        solve();
+        reportViolations();
+    }
+
+  private:
+    unsigned sat(unsigned v) const { return std::min(v, cap_); }
+
+    /**
+     * Walk one block from @p cnt, returning the out-count. When
+     * @p emit is set, closure totals are checked and violations
+     * reported (the post-convergence reporting pass).
+     */
+    unsigned
+    walk(FuncId f, BlockId b, unsigned cnt, bool emit, bool &changed)
+    {
+        const auto &insts = m_.function(f).block(b).insts();
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            const Instruction &inst = insts[i];
+            switch (inst.op) {
+              case Opcode::Boundary:
+              case Opcode::Halt:
+                // PC-checkpointing store closes the region with itself.
+                if (emit)
+                    closeRegion(f, b, i, sat(cnt + 1));
+                cnt = 0;
+                break;
+              case Opcode::Fence:
+              case Opcode::AtomicAdd:
+              case Opcode::LockAcq:
+              case Opcode::LockRel:
+                // Fused region end: broadcast without a PC checkpoint;
+                // the op's own store opens the successor region.
+                if (emit)
+                    closeRegion(f, b, i, cnt);
+                cnt = 1;
+                break;
+              case Opcode::Store:
+              case Opcode::CkptStore:
+                cnt = sat(cnt + 1);
+                if (emit && cnt > capacity_)
+                    openOverflow(f, b, i);
+                break;
+              case Opcode::Call: {
+                cnt = sat(cnt + 1);  // return-address push
+                if (emit && cnt > capacity_)
+                    openOverflow(f, b, i);
+                if (inst.callee < m_.numFunctions()) {
+                    unsigned merged = std::max(st_.callIn[inst.callee],
+                                               cnt);
+                    if (merged != st_.callIn[inst.callee]) {
+                        st_.callIn[inst.callee] = merged;
+                        changed = true;
+                    }
+                    cnt = st_.retOut[inst.callee];
+                }
+                break;
+              }
+              case Opcode::Ret:
+                if (cnt > st_.retOut[f]) {
+                    st_.retOut[f] = cnt;
+                    changed = true;
+                }
+                break;
+              default:
+                break;  // no persist-path effect
+            }
+        }
+        return cnt;
+    }
+
+    void
+    solve()
+    {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (FuncId f = 0; f < m_.numFunctions(); ++f) {
+                if (!reachableFn_[f])
+                    continue;
+                const Cfg &cfg = cfgs_[f];
+                for (BlockId b : cfg.reversePostOrder()) {
+                    unsigned in = (b == 0) ? entryIn(f) : 0;
+                    for (BlockId p : cfg.predecessors(b)) {
+                        if (cfg.reachable(p))
+                            in = std::max(in, st_.out[f][p]);
+                    }
+                    unsigned out = walk(f, b, in, false, changed);
+                    if (in != st_.in[f][b] || out != st_.out[f][b]) {
+                        st_.in[f][b] = in;
+                        st_.out[f][b] = out;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    unsigned
+    entryIn(FuncId f) const
+    {
+        // The entry function starts with an empty region; a callee
+        // inherits the caller's in-flight count (return-address push
+        // included).
+        return f == 0 ? 0u : st_.callIn[f];
+    }
+
+    void
+    reportViolations()
+    {
+        bool changed = false;  // summaries are converged; unused
+        for (FuncId f = 0; f < m_.numFunctions(); ++f) {
+            if (!reachableFn_[f])
+                continue;
+            const Cfg &cfg = cfgs_[f];
+            for (BlockId b : cfg.reversePostOrder())
+                walk(f, b, st_.in[f][b], true, changed);
+        }
+    }
+
+    void
+    closeRegion(FuncId f, BlockId b, std::size_t i, unsigned total)
+    {
+        report_.worstRegionEntries =
+            std::max(report_.worstRegionEntries, total);
+        if (total <= capacity_)
+            return;
+        emit(f, b, i,
+             std::string("region closing here holds ") +
+                 (total >= cap_ ? ">= " : "") + std::to_string(total) +
+                 " persist entries (cap " + std::to_string(capacity_) +
+                 " = budget " + std::to_string(budget_) +
+                 " + PC store)");
+    }
+
+    void
+    openOverflow(FuncId f, BlockId b, std::size_t i)
+    {
+        emit(f, b, i,
+             "boundary-free path reaching this store already exceeds "
+             "the region capacity of " + std::to_string(capacity_) +
+             " persist entries");
+    }
+
+    void
+    emit(FuncId f, BlockId b, std::size_t i, std::string msg)
+    {
+        auto &sink = waive_ ? report_.waived : report_.violations;
+        if (reported_ >= maxReported_) {
+            if (reported_ == maxReported_) {
+                addViolation(sink, Obligation::StoreBound, invalidFunc,
+                             invalidBlock, ~0u,
+                             "further store-bound findings suppressed");
+                ++reported_;
+            }
+            return;
+        }
+        ++reported_;
+        addViolation(sink, Obligation::StoreBound, f, b,
+                     static_cast<std::uint32_t>(i), std::move(msg));
+    }
+
+    const Module &m_;
+    CheckReport &report_;
+    const bool waive_;
+    const unsigned budget_;
+    const unsigned capacity_;
+    const unsigned cap_;
+    std::vector<bool> reachableFn_;
+    std::vector<Cfg> cfgs_;
+    BoundState st_;
+    unsigned reported_ = 0;
+    static constexpr unsigned maxReported_ = 16;
+};
+
+} // namespace
+
+void
+checkStoreBound(const Module &m, unsigned storeThreshold, bool waive,
+                CheckReport &report)
+{
+    StoreBoundAnalysis run(m, storeThreshold, waive, report);
+}
+
+} // namespace analysis
+} // namespace lwsp

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Checker orchestration: structural gate, post-split shape and
+ * site-table integrity, then the semantic obligations (store bound,
+ * recovery replay) from store_bound.cc / abstract_replay.cc.
+ */
+
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "analysis/internal.hh"
+#include "ir/verifier.hh"
+
+namespace lwsp {
+namespace analysis {
+
+using namespace ir;
+
+const char *
+obligationName(Obligation o)
+{
+    switch (o) {
+      case Obligation::Structure: return "structure";
+      case Obligation::StoreBound: return "store-bound";
+      case Obligation::CkptCoverage: return "ckpt-coverage";
+      case Obligation::RecipeSoundness: return "recipe-soundness";
+      case Obligation::Recoverability: return "recoverability";
+      case Obligation::RegionShape: return "region-shape";
+      case Obligation::SiteTable: return "site-table";
+    }
+    return "<bad-obligation>";
+}
+
+std::string
+Violation::describe() const
+{
+    std::ostringstream os;
+    os << "[" << obligationName(obligation) << "]";
+    if (func != invalidFunc) {
+        os << " func " << func;
+        if (block != invalidBlock)
+            os << " block " << block;
+        if (instIndex != ~0u)
+            os << " inst " << instIndex;
+    }
+    os << ": " << message;
+    return os.str();
+}
+
+std::string
+CheckReport::describe() const
+{
+    std::ostringstream os;
+    if (ok()) {
+        os << "OK: " << boundariesSeen << " boundaries, "
+           << sitesChecked << " resume sites replayed, worst region "
+           << worstRegionEntries << " persist entries";
+        if (!waived.empty()) {
+            os << "; " << waived.size()
+               << " store-bound finding(s) waived (declared threshold "
+                  "non-convergence)";
+        }
+        return os.str();
+    }
+    os << violations.size() << " violation(s):";
+    for (const auto &v : violations)
+        os << "\n  " << v.describe();
+    for (const auto &v : waived)
+        os << "\n  (waived) " << v.describe();
+    return os.str();
+}
+
+void
+addViolation(std::vector<Violation> &out, Obligation ob, FuncId f,
+             BlockId b, std::uint32_t idx, std::string msg)
+{
+    Violation v;
+    v.obligation = ob;
+    v.func = f;
+    v.block = b;
+    v.instIndex = idx;
+    v.message = std::move(msg);
+    out.push_back(std::move(v));
+}
+
+std::vector<bool>
+reachableFunctions(const Module &m)
+{
+    std::vector<bool> seen(m.numFunctions(), false);
+    std::vector<FuncId> work;
+    if (m.numFunctions() > 0) {
+        seen[0] = true;
+        work.push_back(0);
+    }
+    while (!work.empty()) {
+        FuncId f = work.back();
+        work.pop_back();
+        const Function &fn = m.function(f);
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            for (const auto &inst : fn.block(b).insts()) {
+                if (inst.op == Opcode::Call &&
+                    inst.callee < m.numFunctions() &&
+                    !seen[inst.callee]) {
+                    seen[inst.callee] = true;
+                    work.push_back(inst.callee);
+                }
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<bool>
+calledFunctions(const Module &m)
+{
+    auto reachable = reachableFunctions(m);
+    std::vector<bool> called(m.numFunctions(), false);
+    for (FuncId f = 0; f < m.numFunctions(); ++f) {
+        if (!reachable[f])
+            continue;
+        const Function &fn = m.function(f);
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            for (const auto &inst : fn.block(b).insts()) {
+                if (inst.op == Opcode::Call &&
+                    inst.callee < m.numFunctions())
+                    called[inst.callee] = true;
+            }
+        }
+    }
+    return called;
+}
+
+namespace {
+
+// Recovery PC-slot sentinels (core/system.hh noSiteSentinel and
+// cpu/exec_record.hh haltSite): a site id at or above either would be
+// misread at recovery as "reset from scratch" / "halted".
+constexpr std::uint64_t recoverySentinelFloor = 0xffff'fffeull;
+
+void
+checkShape(const Module &m, const CheckOptions &opt, CheckReport &rep)
+{
+    for (FuncId f = 0; f < m.numFunctions(); ++f) {
+        const Function &fn = m.function(f);
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            const auto &insts = fn.block(b).insts();
+            unsigned count = 0;
+            for (std::size_t i = 0; i < insts.size(); ++i) {
+                if (insts[i].op != Opcode::Boundary)
+                    continue;
+                ++count;
+                ++rep.boundariesSeen;
+                if (!isValidBoundaryKind(insts[i].rd)) {
+                    addViolation(rep.violations, Obligation::RegionShape,
+                                 f, b, static_cast<std::uint32_t>(i),
+                                 "invalid boundary kind " +
+                                     std::to_string(insts[i].rd));
+                }
+                if (opt.postSplitShape && i + 2 != insts.size()) {
+                    addViolation(rep.violations, Obligation::RegionShape,
+                                 f, b, static_cast<std::uint32_t>(i),
+                                 "boundary is not the penultimate "
+                                 "instruction of its block");
+                }
+            }
+            if (opt.postSplitShape && count > 1) {
+                addViolation(rep.violations, Obligation::RegionShape, f,
+                             b, ~0u,
+                             "block holds " + std::to_string(count) +
+                                 " boundaries (exactly one region may "
+                                 "start per block after splitting)");
+            }
+        }
+    }
+}
+
+void
+checkSiteTable(const Module &m,
+               const std::vector<compiler::BoundarySite> &sites,
+               CheckReport &rep)
+{
+    const std::size_t findings_before = rep.violations.size();
+    auto emit = [&](std::uint32_t id, std::string msg) {
+        addViolation(rep.violations, Obligation::SiteTable, invalidFunc,
+                     invalidBlock, ~0u,
+                     "site " + std::to_string(id) + ": " +
+                         std::move(msg));
+    };
+
+    std::set<std::tuple<FuncId, BlockId, std::uint32_t>> claimed;
+    for (std::size_t k = 0; k < sites.size(); ++k) {
+        const auto &s = sites[k];
+        if (s.id != k) {
+            emit(s.id, "table index " + std::to_string(k) +
+                           " does not match its id (ids must be dense "
+                           "and unique)");
+            continue;
+        }
+        if (static_cast<std::uint64_t>(s.id) >= recoverySentinelFloor) {
+            emit(s.id, "id collides with a recovery sentinel");
+            continue;
+        }
+        if (s.func >= m.numFunctions()) {
+            emit(s.id, "references nonexistent function");
+            continue;
+        }
+        const Function &fn = m.function(s.func);
+        if (s.block >= fn.numBlocks()) {
+            emit(s.id, "references nonexistent block");
+            continue;
+        }
+        const auto &insts = fn.block(s.block).insts();
+        if (s.instIndex >= insts.size() ||
+            insts[s.instIndex].op != Opcode::Boundary) {
+            emit(s.id, "does not point at a Boundary instruction");
+            continue;
+        }
+        const Instruction &inst = insts[s.instIndex];
+        if (static_cast<std::uint64_t>(inst.imm) != s.id) {
+            emit(s.id, "boundary instruction carries site id " +
+                           std::to_string(inst.imm));
+        }
+        if (!isValidBoundaryKind(static_cast<std::uint8_t>(s.kind))) {
+            emit(s.id, "invalid boundary kind in table");
+        } else if (inst.rd != static_cast<std::uint8_t>(s.kind)) {
+            emit(s.id, "kind disagrees with the boundary instruction");
+        }
+        for (const auto &r : s.recipes) {
+            if (r.reg >= numGprs || r.src >= numGprs) {
+                emit(s.id, "recipe register out of range");
+            }
+            if (r.kind != compiler::CkptRecipe::Kind::Const &&
+                r.kind != compiler::CkptRecipe::Kind::AddSlot) {
+                emit(s.id, "invalid recipe kind");
+            }
+        }
+        if (!claimed.insert({s.func, s.block, s.instIndex}).second)
+            emit(s.id, "duplicate site for one boundary instruction");
+    }
+
+    // Every Boundary in the module must be claimed by exactly one site.
+    std::size_t boundaries = 0;
+    for (FuncId f = 0; f < m.numFunctions(); ++f) {
+        const Function &fn = m.function(f);
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            const auto &insts = fn.block(b).insts();
+            for (std::size_t i = 0; i < insts.size(); ++i) {
+                if (insts[i].op != Opcode::Boundary)
+                    continue;
+                ++boundaries;
+                if (!claimed.count(
+                        {f, b, static_cast<std::uint32_t>(i)})) {
+                    addViolation(rep.violations, Obligation::SiteTable,
+                                 f, b, static_cast<std::uint32_t>(i),
+                                 "boundary has no site-table entry");
+                }
+            }
+        }
+    }
+    if (boundaries != sites.size() &&
+        rep.violations.size() == findings_before) {
+        addViolation(rep.violations, Obligation::SiteTable, invalidFunc,
+                     invalidBlock, ~0u,
+                     "site table holds " + std::to_string(sites.size()) +
+                         " entries for " + std::to_string(boundaries) +
+                         " boundaries");
+    }
+}
+
+} // namespace
+
+CheckReport
+checkModule(const Module &m, const compiler::CompilerConfig &cfg,
+            const CheckOptions &opt,
+            const std::vector<compiler::BoundarySite> *sites)
+{
+    CheckReport rep;
+
+    // Structural validity gates everything: the semantic analyses
+    // assume in-range callees, terminated blocks and valid operands.
+    for (const auto &problem : verifyModule(m)) {
+        addViolation(rep.violations, Obligation::Structure, invalidFunc,
+                     invalidBlock, ~0u, problem);
+    }
+    if (!rep.ok())
+        return rep;
+
+    checkShape(m, opt, rep);
+    if (sites && opt.sitesAssigned)
+        checkSiteTable(m, *sites, rep);
+
+    if (opt.checkStoreBound) {
+        checkStoreBound(m, cfg.storeThreshold, opt.waiveStoreBound,
+                        rep);
+    }
+    if (opt.checkCoverage)
+        checkRecoverability(m, opt, cfg.pruneCheckpoints, sites, rep);
+    return rep;
+}
+
+CheckReport
+checkCompiledProgram(const compiler::CompiledProgram &prog,
+                     const compiler::CompilerConfig &cfg)
+{
+    LWSP_ASSERT(prog.module, "checkCompiledProgram: null module");
+    CheckOptions opt;
+    opt.waiveStoreBound = !prog.stats.thresholdConverged;
+    opt.checkCoverage = cfg.insertCheckpointStores;
+    opt.sitesAssigned = true;
+    opt.postSplitShape = true;
+    return checkModule(*prog.module, cfg, opt, &prog.sites);
+}
+
+} // namespace analysis
+} // namespace lwsp

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Static WSP region-safety checker.
+ *
+ * The LightWSP compiler's output carries a correctness argument the paper
+ * states in §III-D/§IV-A: every boundary-free path produces few enough
+ * persist-path entries to fit the reserved WPQ slots, and every register
+ * that survives a region boundary is reconstructible at recovery — from a
+ * fresh checkpoint slot or from a site recipe. `ir::verifyModule` checks
+ * only structure; this checker re-proves the persistence invariants with
+ * analyses implemented independently of the compiler passes that are
+ * supposed to establish them (the checker shares only the IR definitions
+ * and the semantic ground truth of the simulator):
+ *
+ *  - StoreBound: a max-over-paths count of what the persist path really
+ *    sees between region-ending events — data stores, checkpoint stores,
+ *    Call's return-address push, Fence's marker store, the boundary/halt
+ *    PC-store — including the inflow a callee inherits from its caller's
+ *    in-flight region. Re-derived from instruction semantics, not from
+ *    `computeStoreCounts`.
+ *  - CkptCoverage / RecipeSoundness / Recoverability: an abstract replay
+ *    of `System::recover` at every resume site. An independent forward
+ *    abstract interpretation tracks, per register, (a) whether its PM
+ *    checkpoint slot provably holds its current value, (b) a provable
+ *    compile-time constant, (c) a provable slot-relative value
+ *    (r == slot[src] + delta). Every register live across the boundary
+ *    (independent interprocedural liveness) must be reconstructed by
+ *    "restore all slots, then apply recipes in order".
+ *  - RegionShape / SiteTable: post-split shape (boundary penultimate,
+ *    one per block, valid kind) and site-table integrity (dense unique
+ *    ids below the recovery sentinels, table<->instruction bijection,
+ *    recipes only at boundary blocks, valid recipe operands).
+ *  - Structure: `ir::verifyModule`'s findings, folded into the report.
+ *
+ * The compiler can legitimately give up on the store bound (the runtime
+ * WPQ-overflow fallback covers the residue, see LightWspCompiler); such
+ * programs declare it via CompileStats::thresholdConverged == false and
+ * their StoreBound findings are reported as waived, not failing.
+ */
+
+#ifndef LWSP_ANALYSIS_WSP_CHECKER_HH
+#define LWSP_ANALYSIS_WSP_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/compiled_program.hh"
+#include "compiler/config.hh"
+#include "ir/program.hh"
+
+namespace lwsp {
+namespace analysis {
+
+/** The proof obligations the checker discharges. */
+enum class Obligation : std::uint8_t
+{
+    Structure,      ///< ir::verifyModule structural validity
+    StoreBound,     ///< boundary-free paths fit the WPQ reservation
+    CkptCoverage,   ///< live-across register has a current slot or recipe
+    RecipeSoundness,///< recipe reconstructs the value the program needs
+    Recoverability, ///< resume point of a site is executable
+    RegionShape,    ///< post-split boundary placement shape
+    SiteTable,      ///< site ids / table / instruction cross-consistency
+};
+
+const char *obligationName(Obligation o);
+
+/** One discharged-in-the-negative proof obligation. */
+struct Violation
+{
+    Obligation obligation = Obligation::Structure;
+    ir::FuncId func = ir::invalidFunc;    ///< location, when known
+    ir::BlockId block = ir::invalidBlock;
+    std::uint32_t instIndex = ~0u;
+    std::string message;
+
+    std::string describe() const;  ///< "obligation @func:block:idx: msg"
+};
+
+/** What to check; stages of the pipeline discharge different subsets. */
+struct CheckOptions
+{
+    /** Enforce the store bound (off before threshold enforcement ran). */
+    bool checkStoreBound = true;
+    /**
+     * Report StoreBound findings as waived rather than failing — the
+     * compiler declared threshold non-convergence and the runtime
+     * WPQ-overflow fallback absorbs the residue.
+     */
+    bool waiveStoreBound = false;
+    /**
+     * Check checkpoint coverage at boundaries (off for cWSP-style
+     * artifacts that recover by re-execution, and before checkpoint
+     * insertion ran).
+     */
+    bool checkCoverage = true;
+    /**
+     * Site table not yet assigned: accept a provably-constant live
+     * register in lieu of a recipe (the recipe pass derives exactly
+     * those), gated on pruning being enabled.
+     */
+    bool sitesAssigned = true;
+    /** Enforce the post-split boundary shape (off before splitting). */
+    bool postSplitShape = true;
+};
+
+/** Aggregated result of one checker run. */
+struct CheckReport
+{
+    std::vector<Violation> violations;  ///< failing findings
+    std::vector<Violation> waived;      ///< declared-residue StoreBound
+    unsigned worstRegionEntries = 0; ///< max persist entries in any region
+    unsigned sitesChecked = 0;       ///< resume sites replayed
+    unsigned boundariesSeen = 0;
+
+    bool ok() const { return violations.empty(); }
+    /** Multi-line human-readable summary (one line per finding). */
+    std::string describe() const;
+};
+
+/**
+ * Check a mid-pipeline module. @p sites may be null (pre-assignment);
+ * when given, recipes are taken from it for the recovery replay.
+ */
+CheckReport checkModule(const ir::Module &m,
+                        const compiler::CompilerConfig &cfg,
+                        const CheckOptions &opt,
+                        const std::vector<compiler::BoundarySite> *sites);
+
+/** Check a finished compiler artifact against every obligation. */
+CheckReport checkCompiledProgram(const compiler::CompiledProgram &prog,
+                                 const compiler::CompilerConfig &cfg);
+
+} // namespace analysis
+} // namespace lwsp
+
+#endif // LWSP_ANALYSIS_WSP_CHECKER_HH

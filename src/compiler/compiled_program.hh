@@ -22,19 +22,12 @@
 namespace lwsp {
 namespace compiler {
 
-/** Why a boundary exists; Split boundaries are the only merge candidates. */
-enum class BoundaryKind : std::uint8_t
-{
-    FuncEntry = 0,
-    FuncExit,
-    CallBefore,
-    CallAfter,
-    LoopHeader,
-    Sync,
-    Split,
-};
-
-const char *boundaryKindName(BoundaryKind k);
+// The boundary-kind taxonomy lives in the IR layer (ir/opcode.hh) so the
+// verifier, the text round-tripper and the static region-safety checker
+// can validate it without depending on the compiler; re-exported here for
+// the existing compiler-facing spellings.
+using ir::BoundaryKind;
+using ir::boundaryKindName;
 
 /**
  * How to reconstruct a register at recovery when its checkpoint store was
@@ -71,6 +64,13 @@ struct CompileStats
     std::size_t prunedCheckpoints = 0;
     std::size_t unrolledLoops = 0;
     std::size_t fixpointIterations = 0;
+    /**
+     * False when the threshold/checkpoint fixpoint gave up on an
+     * irreducibly over-threshold region and left the residue to the
+     * runtime WPQ-overflow fallback; the static checker waives its
+     * StoreBound obligation for such artifacts.
+     */
+    bool thresholdConverged = true;
 };
 
 /** Memory layout of the PM-resident checkpoint storage (§IV-A). */

@@ -1,7 +1,10 @@
 #include "compiler.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
+#include "analysis/wsp_checker.hh"
 #include "compiler/passes.hh"
 #include "ir/verifier.hh"
 
@@ -10,11 +13,73 @@ namespace compiler {
 
 using namespace ir;
 
+namespace {
+
+/**
+ * The verify-each hook (CompilerConfig::verifyEach) can also be forced
+ * from the environment so existing drivers (benches, the fuzzer, CI)
+ * audit every compile without a recompile: LWSP_VERIFY_EACH=1.
+ */
+bool
+envVerifyEach()
+{
+    static const bool on = [] {
+        const char *v = std::getenv("LWSP_VERIFY_EACH");
+        return v != nullptr && *v != '\0' && std::string(v) != "0";
+    }();
+    return on;
+}
+
+/**
+ * Which functions are entered through a Call (and therefore start with
+ * the caller's return-address push already in the open region)? The
+ * entry function is reached by reset, not by Call, so its seed is 0
+ * unless something also calls it.
+ */
+std::vector<unsigned>
+entrySeeds(const Module &m)
+{
+    std::vector<unsigned> seed(m.numFunctions(), 0);
+    for (FuncId f = 0; f < m.numFunctions(); ++f) {
+        const Function &fn = m.function(f);
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            for (const auto &inst : fn.block(b).insts()) {
+                if (inst.op == Opcode::Call &&
+                    inst.callee < m.numFunctions())
+                    seed[inst.callee] = 1;
+            }
+        }
+    }
+    return seed;
+}
+
+/** Run the static checker after @p pass and die naming it on failure. */
+void
+verifyStage(const Module &m, const CompilerConfig &cfg,
+            const analysis::CheckOptions &opt,
+            const std::vector<BoundarySite> *sites, const char *pass)
+{
+    analysis::CheckReport rep = analysis::checkModule(m, cfg, opt, sites);
+    if (!rep.ok()) {
+        panic("verify-each: WSP invariants violated after pass '", pass,
+              "':\n", rep.describe());
+    }
+}
+
+} // namespace
+
 CompiledProgram
 LightWspCompiler::compile(std::unique_ptr<Module> input) const
 {
     LWSP_ASSERT(input, "compile(nullptr)");
     verifyModuleOrDie(*input);
+
+    const bool veach = cfg_.verifyEach || envVerifyEach();
+    analysis::CheckOptions vopt;  // staged: obligations arm as passes run
+    vopt.checkStoreBound = false;
+    vopt.checkCoverage = false;
+    vopt.sitesAssigned = false;
+    vopt.postSplitShape = false;
 
     CompiledProgram out;
     out.stats.inputInsts = input->instCount();
@@ -23,9 +88,21 @@ LightWspCompiler::compile(std::unique_ptr<Module> input) const
 
     for (FuncId f = 0; f < m.numFunctions(); ++f)
         out.stats.unrolledLoops += unrollLoops(m.function(f), cfg_);
+    if (veach)
+        verifyStage(m, cfg_, vopt, nullptr, "unroll-loops");
 
     for (FuncId f = 0; f < m.numFunctions(); ++f)
         insertInitialBoundaries(m.function(f));
+    if (veach)
+        verifyStage(m, cfg_, vopt, nullptr, "insert-initial-boundaries");
+
+    // The store bound is a *path* property: a callee is entered with the
+    // caller's return-address push already charged to the open region
+    // (the call-before boundary closes the caller's region, then the
+    // Call pushes), so every function reached by Call counts from 1,
+    // not 0. Unrolling and boundary insertion never change the call
+    // graph, so the seeds are stable from here on.
+    const std::vector<unsigned> seeds = entrySeeds(m);
 
     // First enforce the cap on the raw program, then break the
     // boundary/checkpoint circular dependence: each iteration re-derives
@@ -33,9 +110,13 @@ LightWspCompiler::compile(std::unique_ptr<Module> input) const
     // a region over the threshold, splits *with the checkpoint stores in
     // place* (they count as persist entries) before re-deriving.
     for (FuncId f = 0; f < m.numFunctions(); ++f)
-        enforceStoreThreshold(m.function(f), cfg_);
+        enforceStoreThreshold(m.function(f), cfg_, seeds[f]);
     for (FuncId f = 0; f < m.numFunctions(); ++f)
-        combineRegions(m.function(f), cfg_);
+        combineRegions(m.function(f), cfg_, seeds[f]);
+    if (veach) {
+        vopt.checkStoreBound = true;  // cap enforced from here on
+        verifyStage(m, cfg_, vopt, nullptr, "enforce-store-threshold");
+    }
 
     // The loop must exit on a state whose checkpoints were derived for
     // the *final* boundary placement: a boundary inserted after the last
@@ -56,9 +137,10 @@ LightWspCompiler::compile(std::unique_ptr<Module> input) const
         }
 
         unsigned worst = 0;
-        for (FuncId f = 0; f < m.numFunctions(); ++f)
-            worst = std::max(worst,
-                             computeStoreCounts(m.function(f)).worst);
+        for (FuncId f = 0; f < m.numFunctions(); ++f) {
+            worst = std::max(
+                worst, computeStoreCounts(m.function(f), seeds[f]).worst);
+        }
         const unsigned budget =
             cfg_.storeThreshold > 1 ? cfg_.storeThreshold - 1 : 1;
         if (worst <= budget)
@@ -71,6 +153,7 @@ LightWspCompiler::compile(std::unique_ptr<Module> input) const
         // and let the runtime WPQ-overflow fallback absorb the residue.
         if (worst >= prev_worst ||
             iter + 1 == cfg_.maxFixpointIterations) {
+            out.stats.thresholdConverged = false;
             warn("region threshold fixpoint did not converge (worst ",
                  worst, " >= threshold ", cfg_.storeThreshold,
                  "); runtime WPQ-overflow fallback will cover the "
@@ -80,11 +163,20 @@ LightWspCompiler::compile(std::unique_ptr<Module> input) const
         prev_worst = worst;
 
         for (FuncId f = 0; f < m.numFunctions(); ++f)
-            enforceStoreThreshold(m.function(f), cfg_);
+            enforceStoreThreshold(m.function(f), cfg_, seeds[f]);
+    }
+    if (veach) {
+        vopt.checkCoverage = cfg_.insertCheckpointStores;
+        vopt.waiveStoreBound = !out.stats.thresholdConverged;
+        verifyStage(m, cfg_, vopt, nullptr, "checkpoint-fixpoint");
     }
 
     for (FuncId f = 0; f < m.numFunctions(); ++f)
         splitBlocksAtBoundaries(m.function(f));
+    if (veach) {
+        vopt.postSplitShape = true;
+        verifyStage(m, cfg_, vopt, nullptr, "split-blocks-at-boundaries");
+    }
 
     std::map<std::pair<FuncId, BlockId>, std::vector<CkptRecipe>> recipes;
     if (cfg_.insertCheckpointStores)
@@ -95,6 +187,14 @@ LightWspCompiler::compile(std::unique_ptr<Module> input) const
     out.stats.outputInsts = m.instCount();
 
     verifyModuleOrDie(m);
+    if (veach) {
+        analysis::CheckReport rep =
+            analysis::checkCompiledProgram(out, cfg_);
+        if (!rep.ok()) {
+            panic("verify-each: WSP invariants violated after pass "
+                  "'assign-boundary-sites':\n", rep.describe());
+        }
+    }
     return out;
 }
 

@@ -10,21 +10,6 @@ namespace compiler {
 
 using namespace ir;
 
-const char *
-boundaryKindName(BoundaryKind k)
-{
-    switch (k) {
-      case BoundaryKind::FuncEntry: return "func-entry";
-      case BoundaryKind::FuncExit: return "func-exit";
-      case BoundaryKind::CallBefore: return "call-before";
-      case BoundaryKind::CallAfter: return "call-after";
-      case BoundaryKind::LoopHeader: return "loop-header";
-      case BoundaryKind::Sync: return "sync";
-      case BoundaryKind::Split: return "split";
-    }
-    return "<bad>";
-}
-
 namespace {
 
 unsigned
@@ -178,7 +163,7 @@ insertInitialBoundaries(Function &fn)
 }
 
 StoreCountResult
-computeStoreCounts(const Function &fn)
+computeStoreCounts(const Function &fn, unsigned entry_in)
 {
     StoreCountResult r;
     r.in.assign(fn.numBlocks(), 0);
@@ -187,14 +172,26 @@ computeStoreCounts(const Function &fn)
     Cfg cfg(fn);
     const auto &rpo = cfg.reversePostOrder();
 
+    // Monotone max-dataflow: it converges iff every cycle containing a
+    // persist entry also contains a boundary (which resets the count).
+    // A malformed input — e.g. a storeful loop whose header boundary was
+    // stripped — breaks that premise and grows counts without bound, so
+    // cap the passes and fail loudly instead of hanging.
+    const unsigned max_passes =
+        2 * static_cast<unsigned>(fn.numBlocks()) + 16;
     bool changed = true;
-    unsigned guard = 0;
+    unsigned passes = 0;
     while (changed) {
         changed = false;
-        LWSP_ASSERT(++guard < 10000, "store-count dataflow diverged: a "
-                    "storeful loop lacks a header boundary");
+        if (++passes > max_passes) {
+            panic("store-count dataflow failed to converge after ",
+                  max_passes, " passes over ", fn.numBlocks(),
+                  " blocks: a cycle containing persist entries has no "
+                  "boundary to reset the count (storeful loop missing "
+                  "its header boundary?)");
+        }
         for (BlockId b : rpo) {
-            unsigned in = 0;
+            unsigned in = (b == 0) ? entry_in : 0;
             for (BlockId p : cfg.predecessors(b)) {
                 if (cfg.reachable(p))
                     in = std::max(in, r.out[p]);
@@ -219,18 +216,35 @@ computeStoreCounts(const Function &fn)
 }
 
 std::size_t
-enforceStoreThreshold(Function &fn, const CompilerConfig &cfg)
+enforceStoreThreshold(Function &fn, const CompilerConfig &cfg,
+                      unsigned entry_in)
 {
     const unsigned budget =
         cfg.storeThreshold > 1 ? cfg.storeThreshold - 1 : 1;
     std::size_t inserted = 0;
+
+    // Every round that loops again has inserted at least one Split, and
+    // each persist entry needs at most one Split in front of it — so a
+    // round count beyond that bound means the dataflow is feeding us
+    // nonsense and we must not spin.
+    std::size_t total_entries = 0;
+    for (BlockId b = 0; b < fn.numBlocks(); ++b)
+        total_entries += persistEntriesInBlock(fn.block(b));
+    const std::size_t max_rounds = total_entries + fn.numBlocks() + 8;
+    std::size_t rounds = 0;
 
     // Repeat until no block overflows: each pass recomputes the dataflow
     // and inserts at most one boundary per offending block.
     bool again = true;
     while (again) {
         again = false;
-        StoreCountResult counts = computeStoreCounts(fn);
+        if (++rounds > max_rounds) {
+            panic("store-threshold enforcement failed to converge after ",
+                  max_rounds, " rounds (", inserted, " splits inserted, ",
+                  total_entries, " persist entries): malformed region "
+                  "structure");
+        }
+        StoreCountResult counts = computeStoreCounts(fn, entry_in);
         for (BlockId b = 0; b < fn.numBlocks(); ++b) {
             auto &insts = fn.block(b).insts();
             unsigned cnt = counts.in[b];
@@ -256,15 +270,17 @@ enforceStoreThreshold(Function &fn, const CompilerConfig &cfg)
 }
 
 bool
-hasThresholdViolation(const Function &fn, const CompilerConfig &cfg)
+hasThresholdViolation(const Function &fn, const CompilerConfig &cfg,
+                      unsigned entry_in)
 {
     const unsigned budget =
         cfg.storeThreshold > 1 ? cfg.storeThreshold - 1 : 1;
-    return computeStoreCounts(fn).worst > budget;
+    return computeStoreCounts(fn, entry_in).worst > budget;
 }
 
 std::size_t
-combineRegions(Function &fn, const CompilerConfig &cfg)
+combineRegions(Function &fn, const CompilerConfig &cfg,
+               unsigned entry_in)
 {
     if (!cfg.combineRegions)
         return 0;
@@ -283,7 +299,7 @@ combineRegions(Function &fn, const CompilerConfig &cfg)
             }
             Instruction saved = insts[i];
             insts.erase(insts.begin() + i);
-            if (hasThresholdViolation(fn, cfg)) {
+            if (hasThresholdViolation(fn, cfg, entry_in)) {
                 insts.insert(insts.begin() + i, saved);
                 ++i;
             } else {

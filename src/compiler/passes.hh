@@ -40,11 +40,17 @@ makeBoundary(BoundaryKind kind)
     return i;
 }
 
-/** Read the kind back from a Boundary instruction. */
+/**
+ * Read the kind back from a Boundary instruction. The kind rides in rd
+ * (an ir::Reg), so a corrupted or hand-built instruction can carry any
+ * byte — validate instead of silently truncating into the enum.
+ */
 inline BoundaryKind
 boundaryKind(const ir::Instruction &inst)
 {
     LWSP_ASSERT(inst.op == ir::Opcode::Boundary, "not a boundary");
+    LWSP_ASSERT(ir::isValidBoundaryKind(inst.rd),
+                "invalid boundary kind ", unsigned(inst.rd));
     return static_cast<BoundaryKind>(inst.rd);
 }
 
@@ -100,27 +106,39 @@ struct StoreCountResult
 /**
  * Compute the max-over-paths persist-entry count between boundaries.
  * Converges because every loop containing persist entries has a header
- * boundary (which resets the count).
+ * boundary (which resets the count); a malformed input violating that
+ * premise is detected and panics instead of iterating forever.
+ *
+ * @param entry_in persist entries already in flight when control enters
+ *     the function: 1 for any function reached by Call (the caller's
+ *     return-address push lands in the region that crosses into the
+ *     callee until its FuncEntry boundary fires), 0 for the program
+ *     entry function.
  */
-StoreCountResult computeStoreCounts(const ir::Function &fn);
+StoreCountResult computeStoreCounts(const ir::Function &fn,
+                                    unsigned entry_in = 0);
 
 /**
  * Enforce the per-region store cap by inserting Split boundaries wherever
  * the running count would exceed cfg.storeThreshold - 1 (one slot is
  * reserved for the region's own boundary PC-store).
  *
+ * @param entry_in see computeStoreCounts()
  * @return number of Split boundaries inserted
  */
 std::size_t enforceStoreThreshold(ir::Function &fn,
-                                  const CompilerConfig &cfg);
+                                  const CompilerConfig &cfg,
+                                  unsigned entry_in = 0);
 
 /**
  * Region combining: traverse blocks in topological order and remove Split
  * boundaries whose removal keeps every region under the threshold.
  *
+ * @param entry_in see computeStoreCounts()
  * @return number of boundaries removed
  */
-std::size_t combineRegions(ir::Function &fn, const CompilerConfig &cfg);
+std::size_t combineRegions(ir::Function &fn, const CompilerConfig &cfg,
+                           unsigned entry_in = 0);
 
 /**
  * Split blocks so each Boundary is the penultimate instruction of its
@@ -131,7 +149,8 @@ void splitBlocksAtBoundaries(ir::Function &fn);
 
 /** @return true if any boundary-free path exceeds the threshold. */
 bool hasThresholdViolation(const ir::Function &fn,
-                           const CompilerConfig &cfg);
+                           const CompilerConfig &cfg,
+                           unsigned entry_in = 0);
 
 /** Remove every CkptStore (used between fixpoint iterations). */
 void stripCheckpointStores(ir::Function &fn);

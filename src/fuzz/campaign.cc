@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/wsp_checker.hh"
 #include "common/random.hh"
 #include "compiler/compiler.hh"
 #include "core/system.hh"
@@ -149,6 +150,7 @@ namespace {
 struct CaseBuild
 {
     compiler::CompiledProgram prog;
+    compiler::CompilerConfig ccfg;
     core::SystemConfig cfg;
     unsigned threads = 1;
     std::size_t footprint = 0;
@@ -194,6 +196,7 @@ buildCase(const CaseSpec &spec, bool oracles)
     compiler::LightWspCompiler comp(ccfg);
 
     CaseBuild out;
+    out.ccfg = ccfg;
     out.prog = comp.compile(std::move(src.module));
     out.cfg = cfg;
     out.threads = src.threads;
@@ -601,6 +604,19 @@ runCampaign(const CaseSpec &spec, const CampaignOptions &opt)
         return res;
     }
     return res;
+}
+
+StaticCheckResult
+staticCheck(const CaseSpec &spec)
+{
+    CaseBuild bc = buildCase(spec, /*oracles=*/false);
+    analysis::CheckReport rep =
+        analysis::checkCompiledProgram(bc.prog, bc.ccfg);
+    StaticCheckResult out;
+    out.ok = rep.ok();
+    out.summary = bc.summary;
+    out.report = rep.describe();
+    return out;
 }
 
 } // namespace fuzz

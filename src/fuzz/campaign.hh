@@ -121,6 +121,23 @@ struct CampaignResult
 CampaignResult runCampaign(const CaseSpec &spec,
                            const CampaignOptions &opt = {});
 
+/** Outcome of the static WSP-invariant check on one case's compile. */
+struct StaticCheckResult
+{
+    bool ok = true;
+    std::string summary;  ///< one-line case description
+    std::string report;   ///< analysis::CheckReport::describe()
+};
+
+/**
+ * Compile the case exactly as runCampaign would (same program draw,
+ * same compiler configuration) and run the static WSP-invariant
+ * checker (src/analysis) on the result, without simulating anything.
+ * A violation here means the compiler emitted an unsafe partition —
+ * report it instead of hunting for the crash point that exposes it.
+ */
+StaticCheckResult staticCheck(const CaseSpec &spec);
+
 } // namespace fuzz
 } // namespace lwsp
 

@@ -27,7 +27,11 @@
  *
  * Exit status: 0 all passed, 1 mismatch/oracle failure, 2 usage,
  * 3 passed but with at least one detected-unrecoverable verdict
- * (replay path: the injected fault was detected and reported).
+ * (replay path: the injected fault was detected and reported),
+ * 4 static violation (replay path only: the case's compile fails the
+ * static WSP-invariant checker — src/analysis — so the compiler, not
+ * the crash machinery, is at fault; the checker's report is printed
+ * and no simulation runs).
  *
  * --trace-out FILE (replay path only) re-runs the victim with the
  * telemetry sink armed and writes its event trace in the lwsp binary
@@ -172,6 +176,17 @@ main(int argc, char **argv)
             std::fprintf(stderr, "--trace-out needs a crash-mode replay "
                                  "spec (mode=single/dbl-*)\n");
             return 2;
+        }
+        // Gate the replay on the static WSP-invariant checker: if the
+        // compiler already emitted an unsafe partition for this case,
+        // report that directly — the dynamic crash hunt would only be
+        // chasing a symptom of it.
+        auto sc = fuzz::staticCheck(spec);
+        if (!sc.ok) {
+            std::printf("replay %s: STATIC-VIOLATION [%s]\n%s\n",
+                        replay_spec.c_str(), sc.summary.c_str(),
+                        sc.report.c_str());
+            return 4;
         }
         opt.captureTrace = !trace_out.empty();
         auto res = fuzz::runCampaign(spec, opt);

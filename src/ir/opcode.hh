@@ -182,6 +182,39 @@ const char *opcodeName(Opcode op);
 /** Parse a mnemonic; returns Nop and sets @p ok false on failure. */
 Opcode opcodeFromName(const char *mnemonic, bool &ok);
 
+/**
+ * Why a Boundary instruction exists (§III-D placement policy). The kind
+ * rides in the instruction's rd field, so it is serialized with the
+ * module and validated by the verifier; Split boundaries are the only
+ * region-combining merge candidates.
+ */
+enum class BoundaryKind : std::uint8_t
+{
+    FuncEntry = 0,
+    FuncExit,
+    CallBefore,
+    CallAfter,
+    LoopHeader,
+    Sync,
+    Split,
+};
+
+/** Number of valid BoundaryKind values (raw kinds must be below this). */
+constexpr unsigned numBoundaryKinds = 7;
+
+/** @return true if @p raw (a Boundary's rd field) names a valid kind. */
+constexpr bool
+isValidBoundaryKind(std::uint8_t raw)
+{
+    return raw < numBoundaryKinds;
+}
+
+/** Stable name for printing/parsing (e.g. "func-entry"). */
+const char *boundaryKindName(BoundaryKind k);
+
+/** Parse a kind name; sets @p ok false on failure. */
+BoundaryKind boundaryKindFromName(const char *name, bool &ok);
+
 } // namespace ir
 } // namespace lwsp
 

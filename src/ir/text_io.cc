@@ -94,10 +94,16 @@ formatInstruction(const Module &m, const Instruction &inst)
       case Opcode::CkptStore:
         os << ' ' << regName(inst.rs1);
         break;
+      case Opcode::Boundary:
+        // Kind (rd) and site id (imm) are recovery metadata: dropping
+        // them in the text form would change what the program means.
+        os << ' '
+           << boundaryKindName(static_cast<BoundaryKind>(inst.rd))
+           << ", " << inst.imm;
+        break;
       case Opcode::Ret:
       case Opcode::Halt:
       case Opcode::Fence:
-      case Opcode::Boundary:
       case Opcode::Nop:
         break;
     }
@@ -353,10 +359,30 @@ parseModule(const std::string &text)
             need(1);
             inst.rs1 = parseReg(toks[1], line_no);
             break;
+          case Opcode::Boundary: {
+            // 'boundary [kind [, site-id]]': the bare and kind-only
+            // forms are accepted for hand-written and legacy modules;
+            // printModule always emits both operands. Unknown kind
+            // names are rejected rather than defaulted — a module
+            // claiming a kind we do not have is corrupt.
+            if (toks.size() > 3)
+                parseError(line_no, "wrong operand count for boundary");
+            if (toks.size() >= 2) {
+                bool kind_ok = false;
+                BoundaryKind k =
+                    boundaryKindFromName(toks[1].c_str(), kind_ok);
+                if (!kind_ok)
+                    parseError(line_no, "unknown boundary kind '" +
+                                            toks[1] + "'");
+                inst.rd = static_cast<Reg>(k);
+            }
+            if (toks.size() == 3)
+                inst.imm = parseImm(toks[2], line_no);
+            break;
+          }
           case Opcode::Ret:
           case Opcode::Halt:
           case Opcode::Fence:
-          case Opcode::Boundary:
           case Opcode::Nop:
             need(0);
             break;

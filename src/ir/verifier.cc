@@ -105,6 +105,12 @@ verifyModule(const Module &m)
                     inst.callee >= m.numFunctions()) {
                     problems.push_back(where + ": callee out of range");
                 }
+                if (inst.op == Opcode::Boundary &&
+                    !isValidBoundaryKind(inst.rd)) {
+                    problems.push_back(
+                        where + ": invalid boundary kind " +
+                        std::to_string(inst.rd));
+                }
             }
         }
     }

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Static WSP-invariant checker tests: clean sweeps over the built-in
+ * workloads and the fuzz corpus, seeded-defect detection (stripped
+ * checkpoints, corrupted site tables, falsified recipes, removed
+ * boundaries, garbage boundary kinds), the call-entry store-count
+ * regression the checker originally caught in the compiler, and the
+ * divergence diagnostics of the store-count dataflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/wsp_checker.hh"
+#include "compiler/compiler.hh"
+#include "compiler/passes.hh"
+#include "fuzz/campaign.hh"
+#include "fuzz/random_program.hh"
+#include "fuzz/random_workload.hh"
+#include "ir/verifier.hh"
+#include "workloads/generator.hh"
+
+using namespace lwsp;
+using namespace lwsp::ir;
+
+namespace {
+
+bool
+hasObligation(const analysis::CheckReport &rep, analysis::Obligation ob)
+{
+    for (const auto &v : rep.violations)
+        if (v.obligation == ob)
+            return true;
+    return false;
+}
+
+compiler::CompiledProgram
+compileModule(std::unique_ptr<Module> m,
+              const compiler::CompilerConfig &cfg)
+{
+    compiler::LightWspCompiler comp(cfg);
+    return comp.compile(std::move(m));
+}
+
+/**
+ * main loads 6 interleaving-dependent values and both passes them to
+ * and keeps them live across a call to @leaf, which consumes all of
+ * them. At threshold 8 the leaf's entry region checkpoints those 6
+ * non-const live-ins plus the stack pointer — exactly the per-region
+ * budget (7 = threshold - 1). That is the shape that exposed the
+ * call-entry undercount: the caller's return-address push enters the
+ * callee's open region, so a budget-full entry region really holds
+ * budget + 1 entries plus the boundary PC-store.
+ */
+std::unique_ptr<Module>
+callPushProgram()
+{
+    auto m = std::make_unique<Module>();
+    Function &mainFn = m->addFunction("main");
+    Function &leaf = m->addFunction("leaf");
+
+    BasicBlock &mb = mainFn.addBlock();
+    mb.append(Instruction::movi(1, 0x4000));
+    for (Reg r = 2; r <= 7; ++r)
+        mb.append(Instruction::load(r, 1, 8 * (r - 2)));
+    mb.append(Instruction::call(1));
+    for (Reg r = 2; r <= 7; ++r)
+        mb.append(Instruction::store(1, 64 + 8 * (r - 2), r));
+    mb.append(Instruction::simple(Opcode::Halt));
+
+    BasicBlock &lb = leaf.addBlock();
+    for (Reg r = 2; r <= 7; ++r)
+        lb.append(Instruction::store(1, 128 + 8 * (r - 2), r));
+    lb.append(Instruction::simple(Opcode::Ret));
+    return m;
+}
+
+/** One function, one long store ladder: splits cleanly and converges. */
+std::unique_ptr<Module>
+storeLadder(unsigned stores)
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b = f.addBlock();
+    b.append(Instruction::movi(1, 0x4000));
+    for (unsigned i = 0; i < stores; ++i)
+        b.append(Instruction::store(1, 8 * i, 1));
+    b.append(Instruction::simple(Opcode::Halt));
+    return m;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Clean sweeps: the shipped compiler must satisfy its own invariants.
+// ---------------------------------------------------------------------
+
+TEST(Checker, BuiltinWorkloadsCleanUnderAllConfigs)
+{
+    compiler::CompilerConfig configs[3];
+    configs[1].pruneCheckpoints = false;
+    configs[2].unrollLoops = false;
+    const char *names[3] = {"default", "no-prune", "no-unroll"};
+
+    for (const auto &profile : workloads::paperProfiles()) {
+        for (int c = 0; c < 3; ++c) {
+            SCOPED_TRACE(profile.name + " [" + names[c] + "]");
+            auto prog = compileModule(
+                workloads::generate(profile).module, configs[c]);
+            auto rep = analysis::checkCompiledProgram(prog, configs[c]);
+            EXPECT_TRUE(rep.ok()) << rep.describe();
+        }
+    }
+}
+
+TEST(Checker, FuzzCorpus200Clean)
+{
+    static const unsigned thresholds[] = {4, 8, 16, 32};
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        fuzz::FuzzProgram src =
+            (seed % 2 == 0) ? fuzz::randomIrProgram(seed, 0)
+                            : fuzz::randomWorkloadProgram(seed, 0);
+        compiler::CompilerConfig cfg;
+        cfg.storeThreshold = thresholds[seed % 4];
+        auto prog = compileModule(std::move(src.module), cfg);
+        auto rep = analysis::checkCompiledProgram(prog, cfg);
+        EXPECT_TRUE(rep.ok()) << rep.describe();
+    }
+}
+
+TEST(Checker, StaticCheckSpecApi)
+{
+    fuzz::CaseSpec spec;
+    spec.source = fuzz::CaseSpec::Source::Ir;
+    spec.seed = 41;  // the case that exposed the call-entry undercount
+    auto res = fuzz::staticCheck(spec);
+    EXPECT_TRUE(res.ok) << res.report;
+    EXPECT_FALSE(res.summary.empty());
+}
+
+// ---------------------------------------------------------------------
+// The call-entry store-count regression (latent until small thresholds).
+// ---------------------------------------------------------------------
+
+TEST(Checker, CallEntryPushRegression)
+{
+    // Without the callee entry seed the compiler sizes the leaf's entry
+    // region to the full budget, silently declares convergence, and the
+    // checker's independent count flags the ninth persist entry (push +
+    // 7 checkpoints + PC-store against capacity 8) un-waived — this
+    // test goes red. With the seed the compiler either partitions
+    // within capacity or declares non-convergence, which the checker
+    // waives to the runtime WPQ-overflow fallback.
+    compiler::CompilerConfig cfg;
+    cfg.storeThreshold = 8;
+    auto prog = compileModule(callPushProgram(), cfg);
+    auto rep = analysis::checkCompiledProgram(prog, cfg);
+    EXPECT_TRUE(rep.ok()) << rep.describe();
+}
+
+TEST(Passes, CalleeEntrySeedTightensTheBound)
+{
+    // The same entry region holds one more persist entry when the
+    // function is entered through a Call (return-address push in
+    // flight) than when entered by reset — the undercount the checker
+    // originally caught.
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("leaf");
+    BasicBlock &b = f.addBlock();
+    b.append(Instruction::movi(1, 0x4000));
+    for (int i = 0; i < 7; ++i)
+        b.append(Instruction::store(1, 8 * i, 2));
+    b.append(compiler::makeBoundary(BoundaryKind::FuncEntry));
+    b.append(Instruction::simple(Opcode::Ret));
+    EXPECT_EQ(compiler::computeStoreCounts(f, 0).worst, 7u);
+    EXPECT_EQ(compiler::computeStoreCounts(f, 1).worst, 8u);
+}
+
+// ---------------------------------------------------------------------
+// Seeded defects: every obligation must actually fire.
+// ---------------------------------------------------------------------
+
+TEST(Checker, StrippedCheckpointsAreUncovered)
+{
+    compiler::CompilerConfig cfg;
+    cfg.storeThreshold = 8;
+    auto prog = compileModule(callPushProgram(), cfg);
+    compiler::stripCheckpointStores(prog.module->function(1));
+    analysis::CheckOptions opt;
+    opt.sitesAssigned = false;  // judge coverage without the site table
+    auto rep = analysis::checkModule(*prog.module, cfg, opt, nullptr);
+    ASSERT_FALSE(rep.ok());
+    EXPECT_TRUE(hasObligation(rep, analysis::Obligation::CkptCoverage))
+        << rep.describe();
+}
+
+TEST(Checker, RemovedBoundaryBreaksStoreBound)
+{
+    compiler::CompilerConfig cfg;
+    cfg.storeThreshold = 8;
+    auto prog = compileModule(storeLadder(20), cfg);
+    ASSERT_TRUE(prog.stats.thresholdConverged);
+    ASSERT_TRUE(analysis::checkCompiledProgram(prog, cfg).ok());
+    // Fuse two adjacent regions back together by deleting one Split
+    // boundary — the fused region exceeds the cap.
+    Function &fn = prog.module->function(0);
+    bool removed = false;
+    for (BlockId b = 0; b < fn.numBlocks() && !removed; ++b) {
+        auto &insts = fn.block(b).insts();
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            if (insts[i].op == Opcode::Boundary &&
+                compiler::boundaryKind(insts[i]) ==
+                    BoundaryKind::Split) {
+                insts.erase(insts.begin() + i);
+                removed = true;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(removed) << "expected a Split boundary in the ladder";
+    analysis::CheckOptions opt;
+    opt.checkCoverage = false;  // isolate the store-bound obligation
+    opt.postSplitShape = false;
+    auto rep = analysis::checkModule(*prog.module, cfg, opt, nullptr);
+    ASSERT_FALSE(rep.ok());
+    EXPECT_TRUE(hasObligation(rep, analysis::Obligation::StoreBound))
+        << rep.describe();
+}
+
+TEST(Checker, CorruptSiteTableIsFlagged)
+{
+    compiler::CompilerConfig cfg;
+    auto prog = compileModule(workloads::generateByName("lbm").module,
+                              cfg);
+    ASSERT_FALSE(prog.sites.empty());
+
+    {
+        auto broken = prog.sites;
+        broken[0].id += 1;  // ids must be dense and unique
+        analysis::CheckOptions opt;
+        auto rep =
+            analysis::checkModule(*prog.module, cfg, opt, &broken);
+        EXPECT_TRUE(hasObligation(rep, analysis::Obligation::SiteTable))
+            << rep.describe();
+    }
+    {
+        auto broken = prog.sites;
+        broken.pop_back();  // that boundary now has no site entry
+        analysis::CheckOptions opt;
+        auto rep =
+            analysis::checkModule(*prog.module, cfg, opt, &broken);
+        EXPECT_TRUE(hasObligation(rep, analysis::Obligation::SiteTable))
+            << rep.describe();
+    }
+}
+
+TEST(Checker, FalsifiedRecipeIsUnsound)
+{
+    // Find any built-in program whose compile produced a Const recipe,
+    // corrupt its claimed constant, and expect the replay to notice.
+    compiler::CompilerConfig cfg;
+    for (const auto &profile : workloads::paperProfiles()) {
+        auto prog =
+            compileModule(workloads::generate(profile).module, cfg);
+        auto sites = prog.sites;
+        bool corrupted = false;
+        for (auto &s : sites) {
+            for (auto &r : s.recipes) {
+                if (r.kind == compiler::CkptRecipe::Kind::Const) {
+                    r.imm += 1;
+                    corrupted = true;
+                    break;
+                }
+            }
+            if (corrupted)
+                break;
+        }
+        if (!corrupted)
+            continue;
+        analysis::CheckOptions opt;
+        auto rep = analysis::checkModule(*prog.module, cfg, opt, &sites);
+        ASSERT_FALSE(rep.ok());
+        EXPECT_TRUE(
+            hasObligation(rep, analysis::Obligation::RecipeSoundness))
+            << rep.describe();
+        return;
+    }
+    FAIL() << "no built-in compile produced a Const recipe to corrupt";
+}
+
+TEST(Checker, GarbageBoundaryKindIsStructural)
+{
+    compiler::CompilerConfig cfg;
+    auto prog = compileModule(callPushProgram(), cfg);
+    Function &fn = prog.module->function(0);
+    bool poisoned = false;
+    for (BlockId b = 0; b < fn.numBlocks() && !poisoned; ++b) {
+        for (auto &inst : fn.block(b).insts()) {
+            if (inst.op == Opcode::Boundary) {
+                inst.rd = 99;
+                poisoned = true;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(poisoned);
+    EXPECT_FALSE(verifyModule(*prog.module).empty());
+    auto rep = analysis::checkCompiledProgram(prog, cfg);
+    ASSERT_FALSE(rep.ok());
+    EXPECT_TRUE(hasObligation(rep, analysis::Obligation::Structure))
+        << rep.describe();
+}
+
+TEST(Checker, WaiverCoversDeclaredNonConvergence)
+{
+    // Hunt a fuzz case whose checkpoint/threshold fixpoint legitimately
+    // gives up: its store-bound findings must land in the waived list,
+    // leaving the report OK.
+    static const unsigned thresholds[] = {4, 8, 16, 32};
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        fuzz::FuzzProgram src =
+            (seed % 2 == 0) ? fuzz::randomIrProgram(seed, 0)
+                            : fuzz::randomWorkloadProgram(seed, 0);
+        compiler::CompilerConfig cfg;
+        cfg.storeThreshold = thresholds[seed % 4];
+        auto prog = compileModule(std::move(src.module), cfg);
+        if (prog.stats.thresholdConverged)
+            continue;
+        auto rep = analysis::checkCompiledProgram(prog, cfg);
+        EXPECT_TRUE(rep.ok()) << rep.describe();
+        EXPECT_FALSE(rep.waived.empty());
+        return;
+    }
+    FAIL() << "no fuzz seed in 1..100 hit the non-convergence waiver";
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics: malformed inputs fail loudly, not silently.
+// ---------------------------------------------------------------------
+
+TEST(Passes, StoreCountDivergencePanics)
+{
+    // A storeful self-loop with no boundary: the max-dataflow has no
+    // reset point and must refuse to spin forever.
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b = f.addBlock();
+    b.append(Instruction::movi(1, 0x4000));
+    b.append(Instruction::store(1, 0, 2));
+    b.append(Instruction::jmp(0));
+    EXPECT_THROW(compiler::computeStoreCounts(f, 0), PanicError);
+    compiler::CompilerConfig cfg;
+    cfg.storeThreshold = 4;
+    EXPECT_THROW(compiler::enforceStoreThreshold(f, cfg), PanicError);
+}
+
+TEST(Passes, BoundaryKindRejectsGarbage)
+{
+    Instruction inst = Instruction::simple(Opcode::Boundary);
+    inst.rd = numBoundaryKinds;
+    EXPECT_THROW(compiler::boundaryKind(inst), PanicError);
+    inst.rd = static_cast<Reg>(BoundaryKind::Sync);
+    EXPECT_EQ(compiler::boundaryKind(inst), BoundaryKind::Sync);
+}

@@ -6,10 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include "compiler/compiler.hh"
+#include "compiler/passes.hh"
 #include "cpu/thread_context.hh"
+#include "fuzz/random_program.hh"
+#include "fuzz/random_workload.hh"
 #include "ir/program.hh"
 #include "ir/text_io.hh"
 #include "ir/verifier.hh"
+#include "workloads/generator.hh"
 
 using namespace lwsp;
 using namespace lwsp::ir;
@@ -198,6 +203,141 @@ TEST(Verifier, CatchesEmptyModuleAndEmptyBlock)
     Function &f = m->addFunction("main");
     f.addBlock();  // empty block
     EXPECT_FALSE(verifyModule(*m).empty());
+}
+
+TEST(TextIo, BoundaryKindAndSiteRoundTrip)
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b = f.addBlock();
+    Instruction bd = Instruction::simple(Opcode::Boundary);
+    bd.rd = static_cast<Reg>(BoundaryKind::LoopHeader);
+    bd.imm = 37;
+    b.append(bd);
+    b.append(Instruction::simple(Opcode::Halt));
+
+    std::string text = moduleToString(*m);
+    EXPECT_NE(text.find("boundary loop-header, 37"), std::string::npos);
+    auto parsed = parseModule(text);
+    const Instruction &got = parsed->function(0).block(0).insts()[0];
+    EXPECT_EQ(got.rd, static_cast<Reg>(BoundaryKind::LoopHeader));
+    EXPECT_EQ(got.imm, 37);
+    EXPECT_EQ(moduleToString(*parsed), text);
+}
+
+TEST(TextIo, BoundaryLegacyFormsParse)
+{
+    // Bare and kind-only forms stay parseable (hand-written modules).
+    auto m1 = parseModule("func @m\nblock 0:\n  boundary\n  halt\n");
+    EXPECT_EQ(m1->function(0).block(0).insts()[0].rd,
+              static_cast<Reg>(BoundaryKind::FuncEntry));
+    EXPECT_EQ(m1->function(0).block(0).insts()[0].imm, 0);
+    auto m2 = parseModule("func @m\nblock 0:\n  boundary sync\n  halt\n");
+    EXPECT_EQ(m2->function(0).block(0).insts()[0].rd,
+              static_cast<Reg>(BoundaryKind::Sync));
+    // Unknown kinds and over-long forms are rejected.
+    EXPECT_THROW(parseModule("func @m\nblock 0:\n  boundary bogus\n"),
+                 FatalError);
+    EXPECT_THROW(
+        parseModule("func @m\nblock 0:\n  boundary sync, 1, 2\n"),
+        FatalError);
+}
+
+TEST(Verifier, CatchesInvalidBoundaryKind)
+{
+    auto m = std::make_unique<Module>();
+    Function &f = m->addFunction("main");
+    BasicBlock &b = f.addBlock();
+    Instruction bd = Instruction::simple(Opcode::Boundary);
+    bd.rd = numBoundaryKinds;  // first invalid raw kind
+    b.append(bd);
+    b.append(Instruction::simple(Opcode::Halt));
+    auto problems = verifyModule(*m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("boundary kind"), std::string::npos);
+}
+
+TEST(Opcode, BoundaryKindNameRoundTrip)
+{
+    for (unsigned k = 0; k < numBoundaryKinds; ++k) {
+        const char *name = boundaryKindName(static_cast<BoundaryKind>(k));
+        bool ok = false;
+        EXPECT_EQ(static_cast<unsigned>(boundaryKindFromName(name, ok)),
+                  k);
+        EXPECT_TRUE(ok);
+    }
+    bool ok = true;
+    boundaryKindFromName("no-such-kind", ok);
+    EXPECT_FALSE(ok);
+    EXPECT_FALSE(isValidBoundaryKind(numBoundaryKinds));
+    EXPECT_TRUE(isValidBoundaryKind(0));
+}
+
+namespace {
+
+/**
+ * print -> parse -> print must be a fixpoint, and the recovery site
+ * table re-derived from the reparsed module must match the original
+ * bit for bit (ids, locations, kinds, recipes) — the text form carries
+ * everything recovery needs.
+ */
+void
+expectCompiledRoundTrip(std::unique_ptr<Module> m,
+                        const compiler::CompilerConfig &ccfg)
+{
+    compiler::LightWspCompiler comp(ccfg);
+    compiler::CompiledProgram prog = comp.compile(std::move(m));
+
+    std::string text = moduleToString(*prog.module);
+    auto parsed = parseModule(text);
+    ASSERT_EQ(moduleToString(*parsed), text);
+
+    auto recipes = compiler::computeConstRecipes(*parsed);
+    auto sites = compiler::assignBoundarySites(*parsed, recipes);
+    ASSERT_EQ(sites.size(), prog.sites.size());
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        const auto &a = prog.sites[i];
+        const auto &b = sites[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.func, b.func);
+        EXPECT_EQ(a.block, b.block);
+        EXPECT_EQ(a.instIndex, b.instIndex);
+        EXPECT_EQ(static_cast<unsigned>(a.kind),
+                  static_cast<unsigned>(b.kind));
+        ASSERT_EQ(a.recipes.size(), b.recipes.size());
+        for (std::size_t r = 0; r < a.recipes.size(); ++r) {
+            EXPECT_EQ(a.recipes[r].reg, b.recipes[r].reg);
+            EXPECT_EQ(static_cast<unsigned>(a.recipes[r].kind),
+                      static_cast<unsigned>(b.recipes[r].kind));
+            EXPECT_EQ(a.recipes[r].imm, b.recipes[r].imm);
+            EXPECT_EQ(a.recipes[r].src, b.recipes[r].src);
+        }
+    }
+}
+
+} // namespace
+
+TEST(TextIo, CompiledWorkloadsRoundTrip)
+{
+    for (const auto &profile : workloads::paperProfiles()) {
+        SCOPED_TRACE(profile.name);
+        expectCompiledRoundTrip(workloads::generate(profile).module,
+                                compiler::CompilerConfig{});
+    }
+}
+
+TEST(TextIo, CompiledFuzzProgramsRoundTrip)
+{
+    static const unsigned thresholds[] = {4, 8, 16, 32};
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        fuzz::FuzzProgram src =
+            (seed % 2 == 0) ? fuzz::randomIrProgram(seed, 0)
+                            : fuzz::randomWorkloadProgram(seed, 0);
+        compiler::CompilerConfig ccfg;
+        ccfg.storeThreshold = thresholds[seed % 4];
+        expectCompiledRoundTrip(std::move(src.module), ccfg);
+    }
 }
 
 TEST(PcEncoding, RoundTrip)
