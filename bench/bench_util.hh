@@ -9,6 +9,9 @@
  *   --sweep-json FILE write the sweep's wall-clock/throughput telemetry
  *   --report FILE     write a versioned JSON run report (one record per
  *                     distinct simulation point, full RunResult)
+ *   --engine E        simulator core: event (default) or cycle. Tables
+ *                     and CSVs are bit-identical either way; the flag
+ *                     exists for A/B verification and perf comparison.
  *
  * Benches build a flat RunSpec list (row-major over the table) and hand
  * it to a SweepExecutor; results come back indexed by input order, so
@@ -64,10 +67,22 @@ parseArgs(int argc, char **argv)
             args.sweepJsonPath = argv[++i];
         } else if (a == "--report" && i + 1 < argc) {
             args.reportPath = argv[++i];
+        } else if (a == "--engine" && i + 1 < argc) {
+            std::string e = argv[++i];
+            if (e == "event") {
+                harness::setDefaultSimEngine(SimEngine::Event);
+            } else if (e == "cycle") {
+                harness::setDefaultSimEngine(SimEngine::Cycle);
+            } else {
+                std::cerr << "unknown engine '" << e
+                          << "' (want event|cycle)\n";
+                std::exit(2);
+            }
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--quick] [--csv FILE] [--jobs N]"
-                         " [--sweep-json FILE] [--report FILE]\n";
+                         " [--sweep-json FILE] [--report FILE]"
+                         " [--engine event|cycle]\n";
             std::exit(2);
         }
     }

@@ -13,6 +13,10 @@
  * with lwsp_trace, convert to Perfetto JSON with `lwsp_trace convert`)
  * and `--stats-json FILE` (full component stat registry as JSON).
  *
+ * `run` and `crash` accept `--engine event|cycle` to pick the
+ * simulator core (discrete-event wakeup heap vs the legacy
+ * tick-everyone loop); printed stats are bit-identical either way.
+ *
  * `run` and `crash` accept `--faults SPEC` (fault/fault.hh k=v,k=v
  * string, e.g. `seed=7,loss=100` or `ckpt=1`): the machine runs with
  * the hardware fault layer armed and hardened checkpoints. `crash`
@@ -50,9 +54,10 @@ usage()
                  "       lwsp_cli compile <app|file.lir>\n"
                  "       lwsp_cli verify <app|file.lir>\n"
                  "       lwsp_cli run <app> [scheme] [--trace-out FILE]"
-                 " [--stats-json FILE] [--faults SPEC]\n"
+                 " [--stats-json FILE] [--faults SPEC]"
+                 " [--engine event|cycle]\n"
                  "       lwsp_cli crash <app> <fraction 0..1>"
-                 " [--faults SPEC]\n");
+                 " [--faults SPEC] [--engine event|cycle]\n");
     return 2;
 }
 
@@ -65,6 +70,16 @@ applyFaultSpec(core::SystemConfig &cfg, const std::string &spec)
         fatal("bad --faults spec: ", err);
     cfg.faults.enabled = true;
     cfg.faults.hardenedCkpt = true;
+}
+
+SimEngine
+engineFromName(const std::string &name)
+{
+    if (name == "event")
+        return SimEngine::Event;
+    if (name == "cycle")
+        return SimEngine::Cycle;
+    fatal("unknown engine '", name, "' (want event|cycle)");
 }
 
 core::Scheme
@@ -186,11 +201,13 @@ printRunStats(const std::string &scheme_name, unsigned threads,
 int
 cmdRun(const std::string &app, const std::string &scheme_name,
        const std::string &trace_out, const std::string &stats_json,
-       const std::string &faults_spec)
+       const std::string &faults_spec, const std::string &engine_name)
 {
     harness::RunSpec spec;
     spec.workload = app;
     spec.scheme = schemeFromName(scheme_name);
+    if (!engine_name.empty())
+        spec.engine = engineFromName(engine_name);
 
     if (trace_out.empty() && stats_json.empty() && faults_spec.empty()) {
         harness::Runner runner;
@@ -265,7 +282,7 @@ cmdRun(const std::string &app, const std::string &scheme_name,
 
 int
 cmdCrash(const std::string &app, double fraction,
-         const std::string &faults_spec)
+         const std::string &faults_spec, const std::string &engine_name)
 {
     const auto &profile = workloads::profileByName(app);
     auto w = workloads::generate(profile);
@@ -275,6 +292,8 @@ cmdCrash(const std::string &app, double fraction,
 
     core::SystemConfig cfg;
     cfg.scheme = core::Scheme::LightWsp;
+    if (!engine_name.empty())
+        cfg.engine = engineFromName(engine_name);
     cfg.applySchemeDefaults();
 
     core::System golden(cfg, prog, profile.threads);
@@ -354,7 +373,7 @@ main(int argc, char **argv)
             return cmdVerify(argv[2]);
         if (cmd == "run" && argc >= 3) {
             std::string scheme = "lightwsp", trace_out, stats_json;
-            std::string faults;
+            std::string faults, engine;
             int i = 3;
             if (i < argc && argv[i][0] != '-')
                 scheme = argv[i++];
@@ -366,21 +385,26 @@ main(int argc, char **argv)
                     stats_json = argv[++i];
                 else if (a == "--faults" && i + 1 < argc)
                     faults = argv[++i];
+                else if (a == "--engine" && i + 1 < argc)
+                    engine = argv[++i];
                 else
                     return usage();
             }
-            return cmdRun(argv[2], scheme, trace_out, stats_json, faults);
+            return cmdRun(argv[2], scheme, trace_out, stats_json, faults,
+                          engine);
         }
         if (cmd == "crash" && argc >= 4) {
-            std::string faults;
+            std::string faults, engine;
             for (int i = 4; i < argc; ++i) {
                 std::string a = argv[i];
                 if (a == "--faults" && i + 1 < argc)
                     faults = argv[++i];
+                else if (a == "--engine" && i + 1 < argc)
+                    engine = argv[++i];
                 else
                     return usage();
             }
-            return cmdCrash(argv[2], std::atof(argv[3]), faults);
+            return cmdCrash(argv[2], std::atof(argv[3]), faults, engine);
         }
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

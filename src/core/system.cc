@@ -122,6 +122,8 @@ System::System(const SystemConfig &cfg,
             cores_[c]->setThread(threads_[runQueues_[c][0]].get());
     }
 
+    sim_.setEngine(cfg_.engine);
+    sim_.setVerifyWakeups(cfg_.verifyWakeups);
     for (auto &core : cores_)
         sim_.add(core.get());
     sim_.add(&noc_);
@@ -224,17 +226,51 @@ System::maybeEndWarmup()
 }
 
 /**
- * Advance the simulation until done() or cycle @p limit. The hot loop:
- * when every component self-reports quiescence until some future cycle,
- * the clock fast-forwards there instead of stepping through dead cycles
- * one by one. Skips are bounded by the next schedule check whenever a
- * core is oversubscribed (so context switches land on identical cycles)
- * and by @p limit, keeping results bit-identical to plain stepping:
- * done(), warmup progress and scheduling decisions are all pure
- * functions of component state, which is frozen across a skipped window.
+ * Advance the simulation until done() or cycle @p limit.
+ *
+ * Event engine: the wakeup heap names the next cycle at which any
+ * component acts; the clock jumps straight there and executes only the
+ * due components. Jumps are bounded by the next schedule check whenever
+ * a core is oversubscribed (so context switches land on identical
+ * cycles) and by @p limit. done(), warmup progress and scheduling
+ * decisions are all pure functions of component state, which is frozen
+ * across a skipped window — and every external mutation re-arms its
+ * target — so results are bit-identical to the cycle engine (asserted
+ * by test_engine).
+ *
+ * Cycle engine: the legacy loop, preserved verbatim in
+ * advanceCycleStepped().
  */
 bool
 System::advance(Tick limit)
+{
+    if (cfg_.engine == SimEngine::Cycle)
+        return advanceCycleStepped(limit);
+    while (sim_.now() < limit) {
+        if (done())
+            return true;
+        scheduleThreads(sim_.now());
+        maybeEndWarmup();
+        Tick target = std::min(sim_.nextEventTick(), limit);
+        if (multiQueued_)
+            target = std::min(target, nextScheduleCheck_);
+        if (target > sim_.now()) {
+            sim_.advanceTo(target);
+            continue;
+        }
+        sim_.executeCycle();
+    }
+    return false;
+}
+
+/**
+ * The legacy cycle-stepped hot loop: tick everyone every cycle; when
+ * every component self-reports quiescence until some future cycle
+ * (linear nextActiveTick() rescan), the clock fast-forwards there
+ * instead of stepping through dead cycles one by one.
+ */
+bool
+System::advanceCycleStepped(Tick limit)
 {
     while (sim_.now() < limit) {
         if (done())
@@ -250,7 +286,7 @@ System::advance(Tick limit)
                 continue;
             }
         }
-        sim_.step();
+        sim_.executeCycle();
     }
     return false;
 }

@@ -250,6 +250,7 @@ class System : public cpu::MemPort
   private:
     bool done() const;
     bool advance(Tick limit);
+    bool advanceCycleStepped(Tick limit);
     void scheduleThreads(Tick now);
     void maybeEndWarmup();
     void executeCrashDrain(Tick now, int interrupt_after = -1);

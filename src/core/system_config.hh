@@ -19,6 +19,7 @@
 #include "fault/fault.hh"
 #include "mem/cache.hh"
 #include "mem/mem_controller.hh"
+#include "sim/simulator.hh"
 #include "trace/events.hh"
 
 namespace lwsp {
@@ -80,10 +81,31 @@ struct SystemConfig
     Tick maxCycles = 100'000'000;
 
     /**
-     * Fast-forward the clock across cycles in which every component
-     * self-reports quiescence (Clocked::nextActiveTick). Results are
-     * bit-identical with it on or off (asserted by test_sweep); the
-     * switch exists for A/B verification and as a kill switch.
+     * Clock driver. Event (default): discrete-event wakeup heap — idle
+     * components cost nothing per skipped cycle. Cycle: the legacy
+     * tick-everyone loop, kept selectable as the bit-identical ground
+     * truth for A/B verification (asserted by test_engine).
+     */
+    SimEngine engine = SimEngine::Event;
+
+    /**
+     * Event engine debug cross-check: assert at every scheduling
+     * decision that the wakeup heap's minimum is never later than the
+     * full linear rescan over all components (a late key is a missed
+     * event — somebody changed state without rearm(); an early key is
+     * only a spurious no-op wakeup and is legal). Also enabled by
+     * LWSP_VERIFY_WAKEUPS=1 in the environment — the LWSP_VERIFY_EACH
+     * of the scheduler.
+     */
+    bool verifyWakeups = false;
+
+    /**
+     * Cycle engine only: fast-forward the clock across cycles in which
+     * every component self-reports quiescence (Clocked::nextActiveTick).
+     * Results are bit-identical with it on or off (asserted by
+     * test_sweep); the switch exists for A/B verification and as a kill
+     * switch. The event engine supersedes it (per-component skipping)
+     * and ignores this flag.
      */
     bool fastForwardEnabled = true;
 

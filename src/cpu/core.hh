@@ -121,6 +121,7 @@ class Core : public Clocked
         // it on the next tick anyway, but clearing it here keeps it
         // accurate across fast-forwarded (skipped) cycles too.
         lockBlocked_ = false;
+        rearm();
     }
     ThreadContext *thread() { return thread_; }
 
@@ -135,6 +136,7 @@ class Core : public Clocked
         regReady_.fill(now);
         dispatchBlockedUntil_ = std::max(dispatchBlockedUntil_,
                                          now + penalty);
+        rearm();
     }
 
     void tick(Tick now) override;

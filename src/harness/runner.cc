@@ -1,5 +1,6 @@
 #include "runner.hh"
 
+#include <atomic>
 #include <sstream>
 
 #include "compiler/compiler.hh"
@@ -9,11 +10,28 @@ namespace harness {
 
 using core::Scheme;
 
+namespace {
+std::atomic<SimEngine> gDefaultEngine{SimEngine::Event};
+} // namespace
+
+SimEngine
+defaultSimEngine()
+{
+    return gDefaultEngine.load(std::memory_order_relaxed);
+}
+
+void
+setDefaultSimEngine(SimEngine e)
+{
+    gDefaultEngine.store(e, std::memory_order_relaxed);
+}
+
 core::SystemConfig
 makeConfig(const workloads::WorkloadProfile &profile, const RunSpec &spec)
 {
     core::SystemConfig cfg;
     cfg.scheme = spec.scheme;
+    cfg.engine = spec.engine.value_or(defaultSimEngine());
 
     cfg.core.branchMissRate = profile.branchMissRate;
     cfg.core.hwRegionStores = profile.hwRegionStores;
@@ -136,7 +154,8 @@ specKey(const RunSpec &spec)
        << spec.pmWriteCycles.value_or(180) << '/'
        << spec.extraPathLatency.value_or(0) << '/'
        << spec.drainInterval.value_or(1) << '/'
-       << spec.strictFlushAcks.value_or(false);
+       << spec.strictFlushAcks.value_or(false) << '/'
+       << simEngineName(spec.engine.value_or(defaultSimEngine()));
     return os.str();
 }
 

@@ -47,7 +47,17 @@ struct RunSpec
     std::optional<Tick> extraPathLatency;      ///< Fig 17 (CXL link)
     std::optional<Tick> drainInterval;         ///< CXL media bandwidth
     std::optional<bool> strictFlushAcks;       ///< commit-pipeline ablation
+    std::optional<SimEngine> engine;           ///< A/B: event vs cycle
 };
+
+/**
+ * Process-wide engine default for specs that leave RunSpec::engine unset
+ * (what --engine=cycle in the bench/CLI front ends flips). Defaults to
+ * SimEngine::Event. Results are bit-identical either way; the knob
+ * exists for A/B verification and perf comparison.
+ */
+SimEngine defaultSimEngine();
+void setDefaultSimEngine(SimEngine e);
 
 struct RunOutcome
 {

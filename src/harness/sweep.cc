@@ -158,7 +158,8 @@ writeSweepJson(const std::string &path, const std::string &bench,
        << ",\"points\":" << stats.points << ",\"wall_seconds\":"
        << stats.wallSeconds << ",\"points_per_second\":"
        << stats.pointsPerSecond() << ",\"simulated_cycles\":"
-       << stats.simulatedCycles << "}\n";
+       << stats.simulatedCycles << ",\"simulated_cycles_per_second\":"
+       << stats.cyclesPerSecond() << "}\n";
 }
 
 void

@@ -58,6 +58,15 @@ struct SweepStats
                    ? static_cast<double>(points) / wallSeconds
                    : 0.0;
     }
+
+    /** Simulator throughput: simulated cycles retired per wall second. */
+    double
+    cyclesPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(simulatedCycles) / wallSeconds
+                   : 0.0;
+    }
 };
 
 /** One executed experiment point, retained for run-report emission. */

@@ -69,6 +69,7 @@ MemController::accept(const PersistEntry &e, Tick now)
         {now, trace::EventType::WpqEnqueue,
          static_cast<std::int32_t>(id_), e.thread, e.region, e.addr,
          e.value, wpq_.size()});
+    rearm();
 }
 
 void
@@ -136,6 +137,7 @@ MemController::receive(const McMsg &msg, Tick now)
         maybeAdvanceFlushId(now);
         break;
     }
+    rearm();
 }
 
 void
@@ -193,6 +195,7 @@ MemController::flushEntryToPm(const PersistEntry &e, bool fallback, Tick now)
             ++fallbackFlushes_;
         if (e.region >= sh.maxRegion) {
             sh.maxRegion = e.region;
+            shadowPruneQ_.emplace(sh.maxRegion, e.addr);
             traceEvent(fallback ? 1 : 0, e.addr, e.value, e.region, now);
             pm_.write(e.addr, e.value);
         } else {
@@ -209,6 +212,7 @@ MemController::flushEntryToPm(const PersistEntry &e, bool fallback, Tick now)
         sh.maxRegion = e.region;
         sh.writes.emplace_back(e.region, e.value);
         shadows_.emplace(e.addr, std::move(sh));
+        shadowPruneQ_.emplace(e.region, e.addr);
         ++fallbackFlushes_;
     }
     if (!fallback && cfg_.gatingEnabled)
@@ -350,6 +354,8 @@ MemController::nextActiveTick(Tick now) const
             return maxTick;
         return std::max(now, nextDrainTick_);
     }
+    if (cfg_.oracle != nullptr)
+        return now;  // tick() samples the oracle every cycle
     if (cfg_.faultReleaseEarly && !faultFired_ && !wpq_.empty())
         return now;  // the injected early release happens in tick()
     if (ready(drainCursor_)) {
@@ -438,16 +444,20 @@ MemController::crashStep(Tick now)
 void
 MemController::pruneCommittedShadows()
 {
-    for (auto it = shadows_.begin(); it != shadows_.end();) {
-        bool all_committed = true;
-        for (const auto &[region, value] : it->second.writes)
-            all_committed = all_committed && region < drainCursor_;
-        if (all_committed) {
+    // maxRegion is the max over the shadow's writes, so "every write
+    // committed" is exactly "maxRegion < drainCursor_". Pop candidates
+    // in maxRegion order; a candidate whose shadow has since seen a
+    // newer write (or was already erased) is stale — the newer write
+    // pushed its own entry.
+    while (!shadowPruneQ_.empty() &&
+           shadowPruneQ_.top().first < drainCursor_) {
+        Addr addr = shadowPruneQ_.top().second;
+        shadowPruneQ_.pop();
+        auto it = shadows_.find(addr);
+        if (it != shadows_.end() && it->second.maxRegion < drainCursor_) {
             // PM already holds the newest-region (hence newest committed)
             // value; the address is clean again.
-            it = shadows_.erase(it);
-        } else {
-            ++it;
+            shadows_.erase(it);
         }
     }
 }
@@ -474,6 +484,7 @@ MemController::crashFinish(Tick now)
         pm_.write(addr, value);
     }
     shadows_.clear();
+    shadowPruneQ_ = {};
     wpq_.clear();
     if (cfg_.oracle)
         cfg_.oracle->onCrashFinish(id_, drainCursor_,

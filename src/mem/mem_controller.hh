@@ -20,6 +20,8 @@
 
 #include <functional>
 #include <map>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
@@ -292,7 +294,17 @@ class MemController : public Clocked, public McEndpoint
     void traceEvent(int kind, Addr addr, std::uint64_t value,
                     RegionId region, Tick now);
 
-    /** De-taint addresses whose shadow writes are all committed. */
+    /**
+     * De-taint addresses whose shadow writes are all committed. A shadow
+     * is erasable exactly when its maxRegion (the max over its writes'
+     * regions) has dropped below the drain cursor, so the candidates are
+     * kept in a lazy min-heap keyed by maxRegion: each cursor advance
+     * pops only the shadows that just became erasable instead of
+     * rescanning every live shadow's write list (the former O(shadows *
+     * writes) hot spot that dominated high-thread-count runs). Entries
+     * whose shadow has since grown a newer maxRegion are stale and
+     * skipped — the growth pushed a fresh entry.
+     */
     void pruneCommittedShadows();
 
     McId id_;
@@ -327,6 +339,11 @@ class MemController : public Clocked, public McEndpoint
     bool fallbackActive_ = false;
     bool faultFired_ = false;   ///< faultReleaseEarly one-shot latch
     std::map<Addr, Shadow> shadows_;
+    /** Prune candidates: (shadow maxRegion at push time, address). */
+    std::priority_queue<std::pair<RegionId, Addr>,
+                        std::vector<std::pair<RegionId, Addr>>,
+                        std::greater<>>
+        shadowPruneQ_;
 
     // Crash-time fault-handling state (inert without fault injection).
     RegionId corruptBarrier_ = invalidRegion;

@@ -71,6 +71,7 @@ class Noc : public Clocked
         LWSP_ASSERT(to < inboxes_.size(), "bad MC id");
         inboxes_[to].push(now, hopLatency_, msg);
         ++messagesSent_;
+        rearm();
     }
 
     /** Router broadcast of a region boundary to every MC. */
@@ -99,6 +100,7 @@ class Noc : public Clocked
             sendFaulty(mc, msg, now, pin_drop);
         pending_.push_back(pb);
         ++boundariesBroadcast_;
+        rearm();
     }
 
     void

@@ -1,24 +1,43 @@
 /**
  * @file
- * Cycle-stepped component interface.
+ * Clocked component interface.
  *
  * LightWSP's queues (store buffer, front-end buffer, persist path, WPQ, NoC
  * links) are tightly coupled with back-pressure flowing the whole way from
- * the memory controller to the core pipeline, so the simulation kernel steps
- * every component one cycle at a time rather than using a sparse event
- * queue. Components implement Clocked and are registered with a Simulator.
+ * the memory controller to the core pipeline, so every component models one
+ * cycle of work in tick(). Under the legacy cycle-stepped engine the
+ * Simulator calls tick() on everyone every cycle; under the event-driven
+ * engine each component self-schedules via nextActiveTick() and is woken
+ * early by rearm() whenever an external method changes its state.
  */
 
 #ifndef LWSP_SIM_CLOCKED_HH
 #define LWSP_SIM_CLOCKED_HH
 
+#include <cstdint>
 #include <string>
 
 #include "common/types.hh"
 
 namespace lwsp {
 
-/** A component advanced once per core clock cycle. */
+class Clocked;
+
+/**
+ * Wakeup sink the event-driven Simulator implements. Components never
+ * talk to it directly — they call Clocked::rearm() on themselves.
+ */
+class Scheduler
+{
+  public:
+    /** Re-evaluate @p c's wakeup time after an external state change. */
+    virtual void touch(Clocked &c) = 0;
+
+  protected:
+    ~Scheduler() = default;
+};
+
+/** A component advanced once per core clock cycle (when active). */
 class Clocked
 {
   public:
@@ -42,9 +61,12 @@ class Clocked
      * Contract: between @p now and the returned tick, skipping this
      * component's tick() calls entirely must be behaviour-preserving,
      * provided no external method (message delivery, queue insertion,
-     * thread assignment) is invoked on it in that window. The Simulator
-     * uses the minimum over all components to fast-forward through
-     * provably dead cycles with bit-identical results.
+     * thread assignment) is invoked on it in that window. Every external
+     * entry point must therefore end with rearm(), which tells the
+     * event-driven Simulator to re-evaluate this component's wakeup; the
+     * scheduler relies on the pair (nextActiveTick contract + rearm on
+     * every external mutation) to skip dead cycles with bit-identical
+     * results.
      */
     virtual Tick
     nextActiveTick(Tick now) const
@@ -55,7 +77,25 @@ class Clocked
     /** Instance name for logging/statistics. */
     const std::string &name() const { return name_; }
 
+  protected:
+    /**
+     * Notify the scheduler that external state changed and the cached
+     * wakeup time may be stale. Cheap no-op under the cycle-stepped
+     * engine (and before registration). Call at the end of every
+     * externally-invoked mutating method.
+     */
+    void
+    rearm()
+    {
+        if (sched_ != nullptr)
+            sched_->touch(*this);
+    }
+
   private:
+    friend class Simulator;
+    Scheduler *sched_ = nullptr;   ///< set at Simulator::add()
+    std::uint32_t schedIdx_ = 0;   ///< this component's event-queue slot
+
     std::string name_;
 };
 

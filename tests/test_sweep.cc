@@ -131,6 +131,10 @@ runDirect(const workloads::WorkloadProfile &profile, core::Scheme scheme,
     spec.scheme = scheme;
     core::SystemConfig cfg = harness::makeConfig(profile, spec);
     cfg.numCores = cores;
+    // Pin the legacy engine: the event scheduler ignores
+    // fastForwardEnabled (it supersedes it), so the ff-on/ff-off A/B
+    // below would degenerate to event-vs-event and assert nothing.
+    cfg.engine = SimEngine::Cycle;
     cfg.fastForwardEnabled = fast_forward;
     cfg.warmupInsts = warmup_insts;
     cfg.applySchemeDefaults();
