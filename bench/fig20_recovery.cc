@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Figure 20 (extension): recovery latency of the persistent
+ * data-structure library — power-on to first served operation — as a
+ * function of checkpoint distance.
+ *
+ * Each point crashes a structure run at 60% of its crash-free cycle
+ * count, rebuilds a system from the surviving PM image with
+ * System::recover(), and times how long the recovered machine takes to
+ * serve its first operation (the exec-level served counter moving, via
+ * System::runUntilWordChanges). Rows are <structure>/<scheme>; the
+ * four distance columns d1..d4 map to compiler storeThreshold
+ * {8,16,32,64} for the compiled schemes and to opsPerTx {1,2,4,8} for
+ * the pmtx undo-log baseline — in both cases d(i+1) doubles the work
+ * redone after a crash.
+ *
+ * Recovery mode substitutes the LightWSP gated-commit binary for
+ * capri/ppa/cwsp's hardware checkpoint mechanisms (their timing knobs
+ * are kept) so that recovery is exact — see DESIGN.md §13; the column
+ * trend, not cross-scheme magnitude, is the result here.
+ *
+ * Like fig19_pds this sweeps with parallelFor instead of the
+ * profile-name-keyed SweepExecutor; output-indexed result slots keep
+ * the CSV byte-identical at any job count, and quick mode runs the
+ * identical (already small) grid.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.hh"
+#include "core/system.hh"
+#include "pds/pds.hh"
+
+using namespace lwsp;
+
+namespace {
+
+constexpr pds::PdsScheme kSchemes[] = {
+    pds::PdsScheme::LightWsp, pds::PdsScheme::Capri, pds::PdsScheme::Ppa,
+    pds::PdsScheme::Cwsp,     pds::PdsScheme::Pmtx,
+};
+constexpr pds::Kind kKinds[] = {pds::Kind::Log, pds::Kind::Hash,
+                                pds::Kind::Alloc};
+constexpr unsigned kThresholds[] = {8, 16, 32, 64}; ///< compiled schemes
+constexpr unsigned kOpsPerTx[] = {1, 2, 4, 8};      ///< pmtx
+constexpr std::size_t kDists = 4;
+
+struct Point
+{
+    pds::PdsSpec spec;
+    pds::PdsScheme scheme = pds::PdsScheme::LightWsp;
+    unsigned threshold = 0;  ///< 0 for pmtx (opsPerTx is in the spec)
+    Tick latency = 0;        ///< power-on to first served op
+    Tick goldenCycles = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+
+    std::vector<Point> points;
+    for (auto k : kKinds) {
+        for (auto s : kSchemes) {
+            for (std::size_t d = 0; d < kDists; ++d) {
+                Point p;
+                p.spec.kind = k;
+                p.spec.sizeClass = 1;
+                p.spec.numOps = 128;
+                p.spec.mix = 0;
+                p.spec.seed = 7;
+                p.scheme = s;
+                if (s == pds::PdsScheme::Pmtx)
+                    p.spec.opsPerTx = kOpsPerTx[d];
+                else
+                    p.threshold = kThresholds[d];
+                points.push_back(p);
+            }
+        }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    harness::parallelFor(args.jobs, points.size(), [&](std::size_t i) {
+        Point &p = points[i];
+        auto cfg = pds::makePdsConfig(p.scheme, pds::PdsRunMode::Recovery);
+        cfg.engine = harness::defaultSimEngine(); // honour --engine A/B
+        auto prog = pds::preparePdsProgram(
+            p.spec, p.scheme, pds::PdsRunMode::Recovery, p.threshold);
+        pds::PdsParams params = pds::PdsModel(p.spec).params();
+
+        core::System golden(cfg, prog, 1);
+        auto gres = golden.run();
+        LWSP_ASSERT(gres.completed, "fig20 golden did not complete: ",
+                    p.spec.toString());
+        p.goldenCycles = gres.cycles;
+
+        core::System victim(cfg, prog, 1);
+        victim.runWithPowerFailure(gres.cycles * 6 / 10);
+        auto rec =
+            core::System::recover(cfg, prog, 1, victim.pmImage(), {});
+        std::uint64_t servedAtBoot = rec->execImage().read(params.served);
+        auto probe = rec->runUntilWordChanges(params.served, servedAtBoot);
+        LWSP_ASSERT(probe.served, "fig20 recovered run served nothing: ",
+                    p.spec.toString(), " scheme ",
+                    pds::pdsSchemeName(p.scheme));
+        p.latency = probe.serveTick;
+    });
+
+    harness::SweepStats stats;
+    stats.jobs = args.jobs ? args.jobs
+                           : std::max(1u,
+                                      std::thread::hardware_concurrency());
+    stats.points = points.size();
+    stats.wallSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    for (const auto &p : points)
+        stats.simulatedCycles += p.goldenCycles + p.latency;
+
+    harness::ResultTable table(
+        "Fig 20: pds recovery latency, power-on to first served op "
+        "(cycles; crash at 60% of crash-free run, 128 ops). d1..d4 = "
+        "storeThreshold 8/16/32/64 (compiled) or opsPerTx 1/2/4/8 "
+        "(pmtx)");
+    for (std::size_t d = 0; d < kDists; ++d)
+        table.addColumn("d" + std::to_string(d + 1));
+
+    std::size_t idx = 0;
+    for (auto k : kKinds) {
+        for (auto s : kSchemes) {
+            std::vector<double> row;
+            for (std::size_t d = 0; d < kDists; ++d)
+                row.push_back(
+                    static_cast<double>(points[idx++].latency));
+            table.addRow(std::string(pds::kindName(k)) + "/" +
+                             pds::pdsSchemeName(s),
+                         pds::pdsSchemeName(s), row);
+        }
+    }
+
+    table.print(std::cout);
+    if (!args.csvPath.empty()) {
+        std::ofstream csv(args.csvPath);
+        table.writeCsv(csv);
+        std::cout << "csv written to " << args.csvPath << '\n';
+    }
+    if (!args.sweepJsonPath.empty())
+        harness::writeSweepJson(args.sweepJsonPath, args.benchName, stats);
+    if (!args.reportPath.empty()) {
+        std::ofstream rep(args.reportPath);
+        rep << "{\"schema\":\"lwsp-pds-report-v1\",\"bench\":\""
+            << args.benchName << "\",\"points\":[";
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const Point &p = points[i];
+            rep << (i ? "," : "") << "{\"spec\":\"" << p.spec.toString()
+                << "\",\"scheme\":\"" << pds::pdsSchemeName(p.scheme)
+                << "\",\"threshold\":" << p.threshold
+                << ",\"golden_cycles\":" << p.goldenCycles
+                << ",\"latency_cycles\":" << p.latency << "}";
+        }
+        rep << "]}\n";
+        std::cout << "run report written to " << args.reportPath << '\n';
+    }
+    return 0;
+}

@@ -86,6 +86,8 @@ fig15_bandwidth
 fig16_threads
 fig17_cxl
 fig18_wpq_hit
+fig19_pds
+fig20_recovery
 tab02_conflict_rate
 tab_vg3_region_stats
 abl_commit_pipeline

@@ -259,6 +259,11 @@ System::advance(Tick limit)
             continue;
         }
         sim_.executeCycle();
+        if (watchArmed_ && execMem_.read(watchAddr_) != watchFrom_) {
+            watchServed_ = true;
+            watchTick_ = sim_.now();
+            return false;
+        }
     }
     return false;
 }
@@ -287,6 +292,11 @@ System::advanceCycleStepped(Tick limit)
             }
         }
         sim_.executeCycle();
+        if (watchArmed_ && execMem_.read(watchAddr_) != watchFrom_) {
+            watchServed_ = true;
+            watchTick_ = sim_.now();
+            return false;
+        }
     }
     return false;
 }
@@ -321,6 +331,23 @@ System::runWithDoubleFailureDuringDrain(Tick fail_at, unsigned drain_iters)
     // failure's drain picks up exactly where the first stopped.
     executeCrashDrain(sim_.now());
     return collectResult(false);
+}
+
+ServeProbe
+System::runUntilWordChanges(Addr addr, std::uint64_t from)
+{
+    watchArmed_ = true;
+    watchAddr_ = addr;
+    watchFrom_ = from;
+    watchServed_ = false;
+    watchTick_ = 0;
+    bool completed = advance(cfg_.maxCycles);
+    watchArmed_ = false;
+    ServeProbe probe;
+    probe.served = watchServed_;
+    probe.serveTick = watchTick_;
+    probe.result = collectResult(completed);
+    return probe;
 }
 
 void

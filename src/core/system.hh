@@ -121,6 +121,17 @@ struct RunResult
     }
 };
 
+/**
+ * Result of System::runUntilWordChanges(): used by the recovery-latency
+ * benchmark (fig20) to time "power-on to first served operation".
+ */
+struct ServeProbe
+{
+    bool served = false;   ///< the watched word changed before the run ended
+    Tick serveTick = 0;    ///< cycle at which the change became visible
+    RunResult result;      ///< run outcome up to the stop point
+};
+
 class System : public cpu::MemPort
 {
   public:
@@ -156,6 +167,16 @@ class System : public cpu::MemPort
      */
     RunResult runWithDoubleFailureDuringDrain(Tick fail_at,
                                               unsigned drain_iters);
+
+    /**
+     * Run until the execution-image word at @p addr holds a value other
+     * than @p from (or until completion / the cycle cap). The check sits
+     * after every executed cycle, so the reported tick is the first
+     * cycle boundary at which the new value is architecturally visible.
+     * Used to measure recovery latency as "power-on to first served
+     * operation": recover(), read the op counter, then watch it move.
+     */
+    ServeProbe runUntilWordChanges(Addr addr, std::uint64_t from);
 
     /** @return true if the drain protocol actually executed. */
     bool crashed() const { return crashed_; }
@@ -286,6 +307,14 @@ class System : public cpu::MemPort
     /** Any core oversubscribed? Then fast-forwards must stop at every
      *  schedule check so context switches land on the same cycles. */
     bool multiQueued_ = false;
+
+    // runUntilWordChanges() watch state: checked (one branch) after each
+    // executed cycle in both engines; dormant unless armed.
+    bool watchArmed_ = false;
+    Addr watchAddr_ = 0;
+    std::uint64_t watchFrom_ = 0;
+    bool watchServed_ = false;
+    Tick watchTick_ = 0;
 
     bool crashed_ = false;
     bool warmupDone_ = false;

@@ -40,8 +40,12 @@ std::string
 CaseSpec::toString() const
 {
     std::ostringstream os;
-    os << specPrefix << (source == Source::Workload ? "wl" : "ir")
-       << ":seed=" << seed << ":shrink=" << shrink;
+    const char *src = source == Source::Workload ? "wl"
+                      : source == Source::Ir     ? "ir"
+                                                 : "pds";
+    os << specPrefix << src << ":seed=" << seed << ":shrink=" << shrink;
+    if (source == Source::Pds)
+        os << ":pds=" << pds.toString();
     if (mode != CrashMode::None) {
         os << ":mode=" << modeToken(mode) << ":crash=" << crashAt;
         if (mode == CrashMode::DoubleRecovery)
@@ -83,8 +87,10 @@ CaseSpec::parse(const std::string &s, CaseSpec &out, std::string &err)
         spec.source = Source::Workload;
     } else if (tokens[0] == "ir") {
         spec.source = Source::Ir;
+    } else if (tokens[0] == "pds") {
+        spec.source = Source::Pds;
     } else {
-        err = "unknown source '" + tokens[0] + "' (want wl|ir)";
+        err = "unknown source '" + tokens[0] + "' (want wl|ir|pds)";
         return false;
     }
 
@@ -121,6 +127,12 @@ CaseSpec::parse(const std::string &s, CaseSpec &out, std::string &err)
                 spec.crashAt2 = std::stoull(val);
             } else if (key == "drain") {
                 spec.drainIters = static_cast<unsigned>(std::stoul(val));
+            } else if (key == "pds") {
+                std::string perr;
+                if (!pds::PdsSpec::parse(val, spec.pds, perr)) {
+                    err = "bad pds spec: " + perr;
+                    return false;
+                }
             } else if (key == "fault") {
                 spec.fault = val != "0";
             } else if (key == "faults") {
@@ -156,6 +168,17 @@ struct CaseBuild
     std::size_t footprint = 0;
     std::vector<Addr> lockAddrs;
     std::string summary;
+
+    /** Pds-sourced case: arm the structure-specific oracles. */
+    bool isPds = false;
+    /** Post-shrink structure spec (what the oracles replay). */
+    pds::PdsSpec pdsSpec;
+    /**
+     * The crash-prefix oracle is sound only for converged compiles on
+     * the gated scheme: non-convergence hands regions to the runtime
+     * WPQ-overflow fallback, which breaks region-prefix durability.
+     */
+    bool pdsPrefixOk = false;
 };
 
 /**
@@ -167,6 +190,50 @@ struct CaseBuild
 CaseBuild
 buildCase(const CaseSpec &spec, bool oracles)
 {
+    if (spec.source == CaseSpec::Source::Pds) {
+        // Shrink ladder: halve the op tape (the structure geometry is
+        // part of the bug surface, so it stays fixed).
+        pds::PdsSpec ps = spec.pds;
+        for (unsigned i = 0; i < spec.shrink; ++i)
+            ps.numOps = std::max(8u, ps.numOps / 2);
+        pds::PdsProgram pp = pds::buildPdsProgram(ps, /*pmtx=*/false);
+
+        Rng rng(spec.seed ^ 0x66757a7a2d636667ull); // "fuzz-cfg"
+        core::SystemConfig cfg;
+        cfg.scheme = core::Scheme::LightWsp;
+        static const unsigned mcChoices[] = {1, 2, 2, 4};
+        cfg.numMcs = mcChoices[rng.below(4)];
+        // WPQs no smaller than 16: the prefix oracle needs converged
+        // compiles, and thresholds below 4 stop converging.
+        static const unsigned wpqChoices[] = {16, 64};
+        cfg.mc.wpqEntries = wpqChoices[rng.below(2)];
+        cfg.mc.strictFlushAcks = rng.chance(0.25);
+        cfg.numCores = 1;
+        cfg.maxCycles = 30'000'000;
+        cfg.oraclesEnabled = oracles;
+        cfg.applySchemeDefaults();
+
+        compiler::CompilerConfig ccfg;
+        ccfg.storeThreshold = static_cast<unsigned>(
+            cfg.mc.wpqEntries / (rng.chance(0.5) ? 2 : 4));
+        compiler::LightWspCompiler comp(ccfg);
+
+        CaseBuild out;
+        out.ccfg = ccfg;
+        out.prog = comp.compile(std::move(pp.module));
+        out.cfg = cfg;
+        out.threads = 1;
+        out.footprint = pp.params.footprintBytes;
+        out.isPds = true;
+        out.pdsSpec = ps;
+        out.pdsPrefixOk = out.prog.stats.thresholdConverged;
+        out.summary = pp.summary + " mcs=" + std::to_string(cfg.numMcs) +
+                      " wpq=" + std::to_string(cfg.mc.wpqEntries) +
+                      " thr=" + std::to_string(ccfg.storeThreshold) +
+                      (cfg.mc.strictFlushAcks ? " strict" : "");
+        return out;
+    }
+
     FuzzProgram src = (spec.source == CaseSpec::Source::Workload)
                           ? randomWorkloadProgram(spec.seed, spec.shrink)
                           : randomIrProgram(spec.seed, spec.shrink);
@@ -232,8 +299,20 @@ runGolden(const CaseBuild &bc, std::uint64_t &checks, unsigned &runs)
             return g;
         }
     }
-    if (!r.completed)
+    if (!r.completed) {
         g.error = "golden run did not complete (live-lock?)";
+        return g;
+    }
+    if (bc.isPds) {
+        // Structure-walk the clean final state: a mismatch here is an
+        // emission/model bug, not a crash-consistency one — report it
+        // before any power failures muddy the water.
+        if (auto msg = pds::checkSemantics(bc.pdsSpec,
+                                           g.sys->execImage());
+            !msg.empty()) {
+            g.error = "golden " + msg;
+        }
+    }
     return g;
 }
 
@@ -323,12 +402,38 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
                 capture->victimLastCommit.push_back(o->lastCommit(m));
         }
     }
+    // Terminal-state check: golden-diff plus, for pds cases, the
+    // structure-walk oracle over the final image.
+    auto finalCheck = [&](const core::System &sys,
+                          const char *what) -> std::string {
+        if (auto e = diffAppState(sys, golden, bc, what); !e.empty())
+            return e;
+        if (bc.isPds) {
+            if (auto msg = pds::checkSemantics(bc.pdsSpec,
+                                               sys.execImage());
+                !msg.empty()) {
+                return std::string(what) + " " + msg;
+            }
+        }
+        return {};
+    };
+
     if (auto e = harvestOracle(victim, "victim", checks); !e.empty())
         return e;
     if (vr.completed)
-        return diffAppState(victim, golden, bc, "uncrashed victim");
+        return finalCheck(victim, "uncrashed victim");
     if (!victim.crashed())
         return "victim neither completed nor crashed";
+
+    if (bc.isPds && bc.pdsPrefixOk && !pt.fault && !hw_faults) {
+        // Gated LightWSP + converged compile: the crash image must be a
+        // program-order prefix of the recorded store stream.
+        if (auto msg = pds::checkCrashPrefix(bc.pdsSpec,
+                                             victim.pmImage());
+            !msg.empty()) {
+            return "victim " + msg;
+        }
+    }
 
     auto tallyOutcome = [&tally](core::RecoveryOutcome o) {
         switch (o) {
@@ -390,9 +495,9 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
             }
             if (!r2.completed)
                 return "recovery-2 did not complete";
-            return diffAppState(*rec2, golden, bc, "double-crash");
+            return finalCheck(*rec2, "double-crash");
         }
-        return diffAppState(*rec, golden, bc, "double-crash(early)");
+        return finalCheck(*rec, "double-crash(early)");
     }
 
     rr = rec->run();
@@ -400,10 +505,9 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
         return e;
     if (!rr.completed)
         return "recovery did not complete";
-    return diffAppState(*rec, golden, bc,
-                        pt.mode == CrashMode::DoubleDrain
-                            ? "drain-interrupted"
-                            : "recovered");
+    return finalCheck(*rec, pt.mode == CrashMode::DoubleDrain
+                                ? "drain-interrupted"
+                                : "recovered");
 }
 
 /**

@@ -24,6 +24,7 @@
 
 #include "common/types.hh"
 #include "fault/fault.hh"
+#include "pds/pds.hh"
 #include "trace/events.hh"
 
 namespace lwsp {
@@ -46,11 +47,18 @@ enum class CrashMode : std::uint8_t
  */
 struct CaseSpec
 {
-    enum class Source : std::uint8_t { Workload, Ir };
+    enum class Source : std::uint8_t { Workload, Ir, Pds };
 
     Source source = Source::Workload;
     std::uint64_t seed = 1;
     unsigned shrink = 0;
+    /**
+     * Pds-sourced cases only: which persistent data structure program
+     * to run (src/pds). Rides the spec string as a `pds=` token; the
+     * structure-specific semantic + crash-prefix oracles check every
+     * run on top of the generic golden-state diff.
+     */
+    pds::PdsSpec pds;
 
     CrashMode mode = CrashMode::None;
     Tick crashAt = 0;

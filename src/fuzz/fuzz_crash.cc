@@ -2,7 +2,7 @@
  * @file
  * Crash-consistency fuzzing driver.
  *
- *   fuzz_crash [--seeds N] [--base-seed S] [--mode wl|ir|mixed]
+ *   fuzz_crash [--seeds N] [--base-seed S] [--mode wl|ir|pds|mixed]
  *              [--crash-points N] [--jobs N] [--no-double] [--no-shrink]
  *              [--fault] [--faults] [--replay SPEC] [--trace-out FILE]
  *
@@ -13,6 +13,15 @@
  * oracles live. On any failure the case is shrunk and its replay spec
  * printed as `REPRODUCER: lwsp-fuzz:v1:...`; rerun exactly that case
  * with `fuzz_crash --replay '<spec>'`. Exit status 0 = all passed.
+ *
+ * --mode pds runs the persistent-data-structure programs (src/pds)
+ * instead of random programs, rotating structure/size/op-mix across
+ * the seed set. On top of the golden-state diff, every run is checked
+ * by the structure-specific oracles: a semantic walk of the final image
+ * (live log multiset, hash chain/bucket integrity, allocator leak and
+ * double-free accounting) and, on unfaulted victims, a store-stream
+ * prefix check of the crash image against the PdsModel shadow replay.
+ * Composes with --faults.
  *
  * --fault arms the MC's test-only early-release fault on victim runs so
  * the oracle/shrink/replay machinery can be demonstrated on a known bug.
@@ -60,7 +69,7 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--seeds N] [--base-seed S] [--mode wl|ir|mixed]\n"
+        "usage: %s [--seeds N] [--base-seed S] [--mode wl|ir|pds|mixed]\n"
         "          [--crash-points N] [--jobs N] [--no-double]\n"
         "          [--no-shrink] [--fault] [--faults] [--replay SPEC]\n"
         "          [--trace-out FILE]\n",
@@ -159,7 +168,7 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
-    if (mode != "wl" && mode != "ir" && mode != "mixed")
+    if (mode != "wl" && mode != "ir" && mode != "mixed" && mode != "pds")
         return usage(argv[0]);
 
     setLogQuiet(true);
@@ -232,9 +241,21 @@ main(int argc, char **argv)
         fuzz::CaseSpec spec;
         spec.seed = base_seed + i;
         spec.fault = fault;
-        bool use_ir = (mode == "ir") || (mode == "mixed" && i % 2 == 1);
-        spec.source = use_ir ? fuzz::CaseSpec::Source::Ir
-                             : fuzz::CaseSpec::Source::Workload;
+        if (mode == "pds") {
+            // Rotate structure / size / mix across the campaign set so
+            // a small --seeds still covers all three structures.
+            spec.source = fuzz::CaseSpec::Source::Pds;
+            spec.pds.kind = static_cast<pds::Kind>(i % 3);
+            spec.pds.sizeClass = (i / 3) % 3;
+            spec.pds.mix = (i / 9) % 3;
+            spec.pds.numOps = 120;
+            spec.pds.seed = spec.seed;
+        } else {
+            bool use_ir =
+                (mode == "ir") || (mode == "mixed" && i % 2 == 1);
+            spec.source = use_ir ? fuzz::CaseSpec::Source::Ir
+                                 : fuzz::CaseSpec::Source::Workload;
+        }
         if (hw_faults)
             spec = withFaultAxis(spec, i);
         specs[i] = spec;
