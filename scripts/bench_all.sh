@@ -5,7 +5,7 @@
 #
 #   scripts/bench_all.sh [--quick] [--jobs N] [--build-dir DIR]
 #                        [--out-dir DIR] [--speedup] [--fuzz] [--faults]
-#                        [--trace]
+#                        [--trace] [--serve]
 #
 #   --quick      one representative app per suite (fast smoke pass)
 #   --jobs N     sweep worker threads per bench (default: all cores)
@@ -23,6 +23,10 @@
 #   --faults     additionally run the seeded hardware fault-injection
 #                campaign (every fault axis in rotation, hardened
 #                recovery; deterministic, finishes in seconds)
+#   --serve      additionally run the serve-workload crash campaign
+#                (open-loop request streams crash-injected mid-stream,
+#                with the structure oracle replaying the lowered request
+#                tape; deterministic, finishes in seconds)
 #
 # CSV checking: quick-mode rows are a subset of the full reference
 # tables, so each emitted row is compared against the same-named row in
@@ -38,6 +42,7 @@ SPEEDUP=0
 FUZZ=0
 FAULTS=0
 TRACE=0
+SERVE=0
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build"
 OUT_DIR=""
@@ -52,9 +57,10 @@ while [ $# -gt 0 ]; do
         --fuzz) FUZZ=1 ;;
         --faults) FAULTS=1 ;;
         --trace) TRACE=1 ;;
+        --serve) SERVE=1 ;;
         *) echo "usage: $0 [--quick] [--jobs N] [--build-dir DIR]" \
                 "[--out-dir DIR] [--speedup] [--fuzz] [--faults]" \
-                "[--trace]" >&2
+                "[--trace] [--serve]" >&2
            exit 2 ;;
     esac
     shift
@@ -88,6 +94,7 @@ fig17_cxl
 fig18_wpq_hit
 fig19_pds
 fig20_recovery
+fig21_service
 tab02_conflict_rate
 tab_vg3_region_stats
 abl_commit_pipeline
@@ -211,6 +218,26 @@ if [ "$FAULTS" = 1 ]; then
         else
             echo "  FAULT CAMPAIGN FAILED (reproducer spec above," \
                  "full log: $OUT_DIR/fault_campaign.txt)"
+            FAILED=1
+        fi
+    fi
+fi
+
+if [ "$SERVE" = 1 ]; then
+    FC="$BUILD_DIR/src/fuzz/fuzz_crash"
+    [ -x "$FC" ] || FC="$(find "$BUILD_DIR" -name fuzz_crash -type f \
+                          -perm -u+x | head -1)"
+    if [ -z "$FC" ] || [ ! -x "$FC" ]; then
+        echo "error: fuzz_crash binary not found under $BUILD_DIR" >&2
+        FAILED=1
+    else
+        echo "== serve crash campaign (12 seeds, both profiles)"
+        if "$FC" --seeds 12 --base-seed 1 --mode serve --crash-points 8 \
+                | tee "$OUT_DIR/serve_campaign.txt" | tail -3; then
+            echo "  serve campaign clean (no silent corruption)"
+        else
+            echo "  SERVE CAMPAIGN FAILED (reproducer spec above," \
+                 "full log: $OUT_DIR/serve_campaign.txt)"
             FAILED=1
         fi
     fi

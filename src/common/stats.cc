@@ -1,10 +1,53 @@
 #include "stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 
 namespace lwsp {
 namespace stats {
+
+double
+Percentiles::percentile(double q) const
+{
+    LWSP_ASSERT(q >= 0.0 && q <= 1.0, "percentile rank out of [0,1]");
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    // Nearest-rank: rank ceil(q*n), 1-based, clamped to [1, n].
+    auto n = samples_.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return samples_[rank - 1];
+}
+
+double
+Percentiles::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (sorted_)
+        return samples_.back();
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Percentiles::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0;
+    for (double v : samples_)
+        sum += v;
+    return sum / static_cast<double>(samples_.size());
+}
 
 void
 StatGroup::dump(std::ostream &os) const
@@ -29,6 +72,15 @@ StatGroup::dump(std::ostream &os) const
         line(stat + ".min", d.summary().min(), "");
         line(stat + ".max", d.summary().max(), "");
         line(stat + ".count", static_cast<double>(d.summary().count()), "");
+    }
+    for (const auto &[stat, e] : percs_) {
+        const auto &p = *e.stat;
+        line(stat + ".p50", p.p50(), e.desc);
+        line(stat + ".p90", p.p90(), "");
+        line(stat + ".p99", p.p99(), "");
+        line(stat + ".p999", p.p999(), "");
+        line(stat + ".max", p.max(), "");
+        line(stat + ".count", static_cast<double>(p.count()), "");
     }
     for (const auto &[stat, e] : funcs_)
         line(stat, e.fn(), e.desc);
@@ -93,6 +145,21 @@ StatGroup::dumpJson(std::ostream &os) const
             os << d.buckets()[i];
         }
         os << "]}";
+    }
+    for (const auto &[stat, e] : percs_) {
+        const auto &p = *e.stat;
+        key(stat);
+        os << "{\"p50\":";
+        jsonNum(os, p.p50());
+        os << ",\"p90\":";
+        jsonNum(os, p.p90());
+        os << ",\"p99\":";
+        jsonNum(os, p.p99());
+        os << ",\"p999\":";
+        jsonNum(os, p.p999());
+        os << ",\"max\":";
+        jsonNum(os, p.max());
+        os << ",\"count\":" << p.count() << '}';
     }
     for (const auto &[stat, e] : funcs_) {
         key(stat);

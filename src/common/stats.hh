@@ -130,6 +130,50 @@ class Distribution
 };
 
 /**
+ * Exact percentile accumulator: stores every sample and sorts lazily at
+ * query time. Intended for request-latency style populations (thousands
+ * to low millions of samples) where tail quantiles must be exact, not
+ * sketch approximations — p999 over a 10k-request tape is 10 samples,
+ * well inside sketch error bars.
+ */
+class Percentiles
+{
+  public:
+    void
+    sample(double v)
+    {
+        samples_.push_back(v);
+        sorted_ = false;
+    }
+
+    /**
+     * Exact quantile by the nearest-rank method: the smallest sample
+     * such that at least ceil(q * count) samples are <= it. q in [0,1];
+     * returns 0 for an empty population.
+     */
+    double percentile(double q) const;
+
+    double p50() const { return percentile(0.50); }
+    double p90() const { return percentile(0.90); }
+    double p99() const { return percentile(0.99); }
+    double p999() const { return percentile(0.999); }
+    double max() const;
+    double mean() const;
+    std::uint64_t count() const { return samples_.size(); }
+
+    void
+    reset()
+    {
+        samples_.clear();
+        sorted_ = false;
+    }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/**
  * Owner of a component's named statistics. Components hold their stats as
  * plain members and register them here for dumping.
  */
@@ -157,6 +201,13 @@ class StatGroup
                     const std::string &desc = "")
     {
         dists_.emplace(stat_name, Entry<Distribution>{d, desc});
+    }
+
+    void
+    addPercentiles(const std::string &stat_name, const Percentiles *p,
+                   const std::string &desc = "")
+    {
+        percs_.emplace(stat_name, Entry<Percentiles>{p, desc});
     }
 
     /**
@@ -203,6 +254,7 @@ class StatGroup
     std::map<std::string, Entry<Scalar>> scalars_;
     std::map<std::string, Entry<Average>> averages_;
     std::map<std::string, Entry<Distribution>> dists_;
+    std::map<std::string, Entry<Percentiles>> percs_;
     std::map<std::string, FuncEntry> funcs_;
 };
 

@@ -137,6 +137,13 @@ Core::retire(Tick now)
             sb_.push_back(rec);
             ++storesRetired_;
             ++storesSinceBoundary_;
+            if (cfg_.serveMarkAddr != 0 && rec.addr == cfg_.serveMarkAddr) {
+                trace::emitIf<trace::Category::Serve>(
+                    cfg_.sink,
+                    {now, trace::EventType::ServeMark,
+                     static_cast<std::int32_t>(id_), rec.thread, rec.region,
+                     rec.addr, rec.value, boundaryWaitCycles_});
+            }
         }
 
         ++instsRetired_;

@@ -75,6 +75,17 @@ struct CoreConfig
      * discipline as McConfig::oracle.
      */
     trace::TraceSink *sink = nullptr;
+
+    /**
+     * When nonzero, retiring a store to this address emits a ServeMark
+     * trace event carrying the stored value (the serve subsystem's
+     * monotonic served-op counter) and the core's cumulative
+     * boundary-stall cycles — the per-request completion timestamps
+     * fig21's LatencyRecorder folds into latency percentiles. Zero (the
+     * default) keeps the retire hot path free of the comparison's
+     * side effects.
+     */
+    Addr serveMarkAddr = 0;
 };
 
 /** Memory-system services the core needs; implemented by the System. */

@@ -42,10 +42,13 @@ CaseSpec::toString() const
     std::ostringstream os;
     const char *src = source == Source::Workload ? "wl"
                       : source == Source::Ir     ? "ir"
-                                                 : "pds";
+                      : source == Source::Pds    ? "pds"
+                                                 : "serve";
     os << specPrefix << src << ":seed=" << seed << ":shrink=" << shrink;
     if (source == Source::Pds)
         os << ":pds=" << pds.toString();
+    if (source == Source::Serve)
+        os << ":serve=" << serve.toString();
     if (mode != CrashMode::None) {
         os << ":mode=" << modeToken(mode) << ":crash=" << crashAt;
         if (mode == CrashMode::DoubleRecovery)
@@ -89,8 +92,11 @@ CaseSpec::parse(const std::string &s, CaseSpec &out, std::string &err)
         spec.source = Source::Ir;
     } else if (tokens[0] == "pds") {
         spec.source = Source::Pds;
+    } else if (tokens[0] == "serve") {
+        spec.source = Source::Serve;
     } else {
-        err = "unknown source '" + tokens[0] + "' (want wl|ir|pds)";
+        err = "unknown source '" + tokens[0] +
+              "' (want wl|ir|pds|serve)";
         return false;
     }
 
@@ -133,6 +139,12 @@ CaseSpec::parse(const std::string &s, CaseSpec &out, std::string &err)
                     err = "bad pds spec: " + perr;
                     return false;
                 }
+            } else if (key == "serve") {
+                std::string serr;
+                if (!serve::ServeSpec::parse(val, spec.serve, serr)) {
+                    err = "bad serve spec: " + serr;
+                    return false;
+                }
             } else if (key == "fault") {
                 spec.fault = val != "0";
             } else if (key == "faults") {
@@ -169,10 +181,16 @@ struct CaseBuild
     std::vector<Addr> lockAddrs;
     std::string summary;
 
-    /** Pds-sourced case: arm the structure-specific oracles. */
+    /** Pds- or serve-sourced case: arm the structure-specific oracles. */
     bool isPds = false;
     /** Post-shrink structure spec (what the oracles replay). */
     pds::PdsSpec pdsSpec;
+    /**
+     * Serve-sourced case: the lowered request op tape. Non-empty means
+     * the structure oracles replay this injected tape instead of the
+     * spec-generated one.
+     */
+    std::vector<pds::PdsOp> pdsOps;
     /**
      * The crash-prefix oracle is sound only for converged compiles on
      * the gated scheme: non-convergence hands regions to the runtime
@@ -180,6 +198,50 @@ struct CaseBuild
      */
     bool pdsPrefixOk = false;
 };
+
+/** Structure-oracle dispatch: generated tape vs injected (serve) tape. */
+std::string
+pdsSemanticsOf(const CaseBuild &bc, const mem::MemImage &img)
+{
+    return bc.pdsOps.empty()
+               ? pds::checkSemantics(bc.pdsSpec, img)
+               : pds::checkSemantics(bc.pdsSpec, bc.pdsOps, img);
+}
+
+std::string
+pdsPrefixOf(const CaseBuild &bc, const mem::MemImage &img)
+{
+    return bc.pdsOps.empty()
+               ? pds::checkCrashPrefix(bc.pdsSpec, img)
+               : pds::checkCrashPrefix(bc.pdsSpec, bc.pdsOps, img);
+}
+
+/**
+ * The hardware/compiler shape shared by the structure-program sources
+ * (pds and serve): gated LightWSP, 1 core, WPQs big enough for the
+ * prefix oracle's convergence requirement.
+ */
+void
+drawStructureConfig(std::uint64_t seed, bool oracles,
+                    core::SystemConfig &cfg,
+                    compiler::CompilerConfig &ccfg)
+{
+    Rng rng(seed ^ 0x66757a7a2d636667ull); // "fuzz-cfg"
+    cfg.scheme = core::Scheme::LightWsp;
+    static const unsigned mcChoices[] = {1, 2, 2, 4};
+    cfg.numMcs = mcChoices[rng.below(4)];
+    // WPQs no smaller than 16: the prefix oracle needs converged
+    // compiles, and thresholds below 4 stop converging.
+    static const unsigned wpqChoices[] = {16, 64};
+    cfg.mc.wpqEntries = wpqChoices[rng.below(2)];
+    cfg.mc.strictFlushAcks = rng.chance(0.25);
+    cfg.numCores = 1;
+    cfg.maxCycles = 30'000'000;
+    cfg.oraclesEnabled = oracles;
+    cfg.applySchemeDefaults();
+    ccfg.storeThreshold = static_cast<unsigned>(
+        cfg.mc.wpqEntries / (rng.chance(0.5) ? 2 : 4));
+}
 
 /**
  * Derive the system + compiler configuration from the seed. The draw is
@@ -190,32 +252,35 @@ struct CaseBuild
 CaseBuild
 buildCase(const CaseSpec &spec, bool oracles)
 {
-    if (spec.source == CaseSpec::Source::Pds) {
-        // Shrink ladder: halve the op tape (the structure geometry is
-        // part of the bug surface, so it stays fixed).
-        pds::PdsSpec ps = spec.pds;
-        for (unsigned i = 0; i < spec.shrink; ++i)
-            ps.numOps = std::max(8u, ps.numOps / 2);
-        pds::PdsProgram pp = pds::buildPdsProgram(ps, /*pmtx=*/false);
+    if (spec.source == CaseSpec::Source::Pds ||
+        spec.source == CaseSpec::Source::Serve) {
+        // Shrink ladder: halve the op tape (pds) / request stream
+        // (serve) — the structure geometry is part of the bug surface,
+        // so it stays fixed.
+        pds::PdsSpec ps;
+        std::vector<pds::PdsOp> ops;
+        pds::PdsProgram pp;
+        std::string srcSummary;
+        if (spec.source == CaseSpec::Source::Serve) {
+            serve::ServeSpec ss = spec.serve;
+            for (unsigned i = 0; i < spec.shrink; ++i)
+                ss.numRequests = std::max(8u, ss.numRequests / 2);
+            serve::ServeWorkload wl = serve::buildWorkload(ss);
+            ps = wl.pdsSpec;
+            ops = std::move(wl.ops);
+            pp = pds::buildPdsProgram(ps, /*pmtx=*/false, ops);
+            srcSummary = "serve " + ss.toString() + " -> " + pp.summary;
+        } else {
+            ps = spec.pds;
+            for (unsigned i = 0; i < spec.shrink; ++i)
+                ps.numOps = std::max(8u, ps.numOps / 2);
+            pp = pds::buildPdsProgram(ps, /*pmtx=*/false);
+            srcSummary = pp.summary;
+        }
 
-        Rng rng(spec.seed ^ 0x66757a7a2d636667ull); // "fuzz-cfg"
         core::SystemConfig cfg;
-        cfg.scheme = core::Scheme::LightWsp;
-        static const unsigned mcChoices[] = {1, 2, 2, 4};
-        cfg.numMcs = mcChoices[rng.below(4)];
-        // WPQs no smaller than 16: the prefix oracle needs converged
-        // compiles, and thresholds below 4 stop converging.
-        static const unsigned wpqChoices[] = {16, 64};
-        cfg.mc.wpqEntries = wpqChoices[rng.below(2)];
-        cfg.mc.strictFlushAcks = rng.chance(0.25);
-        cfg.numCores = 1;
-        cfg.maxCycles = 30'000'000;
-        cfg.oraclesEnabled = oracles;
-        cfg.applySchemeDefaults();
-
         compiler::CompilerConfig ccfg;
-        ccfg.storeThreshold = static_cast<unsigned>(
-            cfg.mc.wpqEntries / (rng.chance(0.5) ? 2 : 4));
+        drawStructureConfig(spec.seed, oracles, cfg, ccfg);
         compiler::LightWspCompiler comp(ccfg);
 
         CaseBuild out;
@@ -226,8 +291,9 @@ buildCase(const CaseSpec &spec, bool oracles)
         out.footprint = pp.params.footprintBytes;
         out.isPds = true;
         out.pdsSpec = ps;
+        out.pdsOps = std::move(ops);
         out.pdsPrefixOk = out.prog.stats.thresholdConverged;
-        out.summary = pp.summary + " mcs=" + std::to_string(cfg.numMcs) +
+        out.summary = srcSummary + " mcs=" + std::to_string(cfg.numMcs) +
                       " wpq=" + std::to_string(cfg.mc.wpqEntries) +
                       " thr=" + std::to_string(ccfg.storeThreshold) +
                       (cfg.mc.strictFlushAcks ? " strict" : "");
@@ -307,8 +373,7 @@ runGolden(const CaseBuild &bc, std::uint64_t &checks, unsigned &runs)
         // Structure-walk the clean final state: a mismatch here is an
         // emission/model bug, not a crash-consistency one — report it
         // before any power failures muddy the water.
-        if (auto msg = pds::checkSemantics(bc.pdsSpec,
-                                           g.sys->execImage());
+        if (auto msg = pdsSemanticsOf(bc, g.sys->execImage());
             !msg.empty()) {
             g.error = "golden " + msg;
         }
@@ -409,8 +474,7 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
         if (auto e = diffAppState(sys, golden, bc, what); !e.empty())
             return e;
         if (bc.isPds) {
-            if (auto msg = pds::checkSemantics(bc.pdsSpec,
-                                               sys.execImage());
+            if (auto msg = pdsSemanticsOf(bc, sys.execImage());
                 !msg.empty()) {
                 return std::string(what) + " " + msg;
             }
@@ -428,8 +492,7 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
     if (bc.isPds && bc.pdsPrefixOk && !pt.fault && !hw_faults) {
         // Gated LightWSP + converged compile: the crash image must be a
         // program-order prefix of the recorded store stream.
-        if (auto msg = pds::checkCrashPrefix(bc.pdsSpec,
-                                             victim.pmImage());
+        if (auto msg = pdsPrefixOf(bc, victim.pmImage());
             !msg.empty()) {
             return "victim " + msg;
         }

@@ -25,6 +25,7 @@
 #include "common/types.hh"
 #include "fault/fault.hh"
 #include "pds/pds.hh"
+#include "serve/serve.hh"
 #include "trace/events.hh"
 
 namespace lwsp {
@@ -47,7 +48,7 @@ enum class CrashMode : std::uint8_t
  */
 struct CaseSpec
 {
-    enum class Source : std::uint8_t { Workload, Ir, Pds };
+    enum class Source : std::uint8_t { Workload, Ir, Pds, Serve };
 
     Source source = Source::Workload;
     std::uint64_t seed = 1;
@@ -59,6 +60,13 @@ struct CaseSpec
      * run on top of the generic golden-state diff.
      */
     pds::PdsSpec pds;
+    /**
+     * Serve-sourced cases only: the service workload (src/serve) whose
+     * request stream is lowered onto the pds hash table and crash-tested
+     * mid-stream. Rides the spec string as a `serve=` token; the same
+     * structure oracles as pds cases run against the lowered op tape.
+     */
+    serve::ServeSpec serve;
 
     CrashMode mode = CrashMode::None;
     Tick crashAt = 0;

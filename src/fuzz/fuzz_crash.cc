@@ -2,7 +2,8 @@
  * @file
  * Crash-consistency fuzzing driver.
  *
- *   fuzz_crash [--seeds N] [--base-seed S] [--mode wl|ir|pds|mixed]
+ *   fuzz_crash [--seeds N] [--base-seed S]
+ *              [--mode wl|ir|pds|serve|mixed]
  *              [--crash-points N] [--jobs N] [--no-double] [--no-shrink]
  *              [--fault] [--faults] [--replay SPEC] [--trace-out FILE]
  *
@@ -22,6 +23,13 @@
  * double-free accounting) and, on unfaulted victims, a store-stream
  * prefix check of the crash image against the PdsModel shadow replay.
  * Composes with --faults.
+ *
+ * --mode serve crash-tests the open-loop service workloads (src/serve)
+ * mid-request-stream: each seed generates a Zipf/profile-mixed request
+ * tape (rotating varnish/horde profile and table size), lowers it onto
+ * the pds hash table, and runs the same mined-crash campaign with the
+ * structure oracles replaying the lowered op tape. Composes with
+ * --faults.
  *
  * --fault arms the MC's test-only early-release fault on victim runs so
  * the oracle/shrink/replay machinery can be demonstrated on a known bug.
@@ -69,7 +77,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--seeds N] [--base-seed S] [--mode wl|ir|pds|mixed]\n"
+        "usage: %s [--seeds N] [--base-seed S]\n"
+        "          [--mode wl|ir|pds|serve|mixed]\n"
         "          [--crash-points N] [--jobs N] [--no-double]\n"
         "          [--no-shrink] [--fault] [--faults] [--replay SPEC]\n"
         "          [--trace-out FILE]\n",
@@ -168,7 +177,8 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
-    if (mode != "wl" && mode != "ir" && mode != "mixed" && mode != "pds")
+    if (mode != "wl" && mode != "ir" && mode != "mixed" &&
+        mode != "pds" && mode != "serve")
         return usage(argv[0]);
 
     setLogQuiet(true);
@@ -250,6 +260,15 @@ main(int argc, char **argv)
             spec.pds.mix = (i / 9) % 3;
             spec.pds.numOps = 120;
             spec.pds.seed = spec.seed;
+        } else if (mode == "serve") {
+            // Rotate profile / table size so a small --seeds covers
+            // both service mixes and both hash geometries.
+            spec.source = fuzz::CaseSpec::Source::Serve;
+            spec.serve.profile = (i % 2) ? serve::Profile::Horde
+                                         : serve::Profile::Varnish;
+            spec.serve.sizeClass = (i / 2) % 2;
+            spec.serve.numRequests = 96;
+            spec.serve.seed = spec.seed;
         } else {
             bool use_ir =
                 (mode == "ir") || (mode == "mixed" && i % 2 == 1);

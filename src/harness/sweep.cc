@@ -1,5 +1,7 @@
 #include "sweep.hh"
 
+#include "common/stats.hh"
+
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -172,7 +174,10 @@ writeRunReports(const std::string &path, const std::string &bench,
         std::cerr << "error: cannot write run report to " << path << '\n';
         return;
     }
-    os << "{\"schema\":\"lwsp-run-report-v1\",\"bench\":\"" << bench
+    // v1.1: adds the "cycles_percentiles" footer (stats::Percentiles
+    // over per-run cycle counts). Fields are additive; v1 consumers
+    // that ignore unknown keys keep working.
+    os << "{\"schema\":\"lwsp-run-report-v1.1\",\"bench\":\"" << bench
        << "\",\"jobs\":" << stats.jobs << ",\"wall_seconds\":"
        << stats.wallSeconds << ",\"runs\":[";
     bool first = true;
@@ -217,7 +222,13 @@ writeRunReports(const std::string &path, const std::string &bench,
            << ",\"avg_region_stores\":" << r.avgRegionStores << "}}";
         first = false;
     }
-    os << "\n]}\n";
+    stats::Percentiles cyc;
+    for (const auto &rec : records)
+        cyc.sample(static_cast<double>(rec.outcome.result.cycles));
+    os << "\n],\"cycles_percentiles\":{\"p50\":" << cyc.p50()
+       << ",\"p90\":" << cyc.p90() << ",\"p99\":" << cyc.p99()
+       << ",\"p999\":" << cyc.p999() << ",\"max\":" << cyc.max()
+       << ",\"count\":" << cyc.count() << "}}\n";
 }
 
 } // namespace harness

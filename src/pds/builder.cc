@@ -736,12 +736,10 @@ buildDriver(Emitter &e, const PdsSpec &spec,
     e.emit(Instruction::simple(Opcode::Halt));
 }
 
-} // namespace
-
 PdsProgram
-buildPdsProgram(const PdsSpec &spec, bool pmtx)
+buildFromModel(const PdsModel &model, bool pmtx)
 {
-    PdsModel model(spec);
+    const PdsSpec &spec = model.spec();
     PdsProgram out;
     out.params = model.params();
 
@@ -800,6 +798,23 @@ buildPdsProgram(const PdsSpec &spec, bool pmtx)
        << " footprint=" << out.params.footprintBytes;
     out.summary = os.str();
     return out;
+}
+
+} // namespace
+
+PdsProgram
+buildPdsProgram(const PdsSpec &spec, bool pmtx)
+{
+    PdsModel model(spec);
+    return buildFromModel(model, pmtx);
+}
+
+PdsProgram
+buildPdsProgram(const PdsSpec &spec, bool pmtx,
+                const std::vector<PdsOp> &ops)
+{
+    PdsModel model(spec, ops);
+    return buildFromModel(model, pmtx);
 }
 
 } // namespace pds

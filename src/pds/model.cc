@@ -251,10 +251,36 @@ allocHandle(const PdsParams &p, std::uint64_t h)
 
 } // namespace
 
+PdsParams
+pdsGeometry(const PdsSpec &spec)
+{
+    return deriveBaseParams(spec);
+}
+
 // ---------------------------------------------------------------------------
 // PdsModel.
 
 PdsModel::PdsModel(const PdsSpec &spec) : spec_(spec)
+{
+    initStructure();
+    generateTape();
+    finishInit();
+}
+
+PdsModel::PdsModel(const PdsSpec &spec, const std::vector<PdsOp> &ops)
+    : spec_(spec)
+{
+    LWSP_ASSERT(!ops.empty() && ops.size() <= 100000,
+                "injected pds tape size out of range");
+    spec_.numOps = static_cast<unsigned>(ops.size());
+    initStructure();
+    ops_ = ops;
+    replayInjected();
+    finishInit();
+}
+
+void
+PdsModel::initStructure()
 {
     params_ = deriveBaseParams(spec_);
 
@@ -272,8 +298,11 @@ PdsModel::PdsModel(const PdsSpec &spec) : spec_(spec)
             init_[allocBlock(params_, i)] = i + 2;
         break;
     }
+}
 
-    generateTape();
+void
+PdsModel::finishInit()
+{
     for (unsigned i = 0; i < spec_.numOps; ++i) {
         tape_.push_back(ops_[i].op | (ops_[i].a << 8));
         tape_.push_back(ops_[i].v);
@@ -289,6 +318,84 @@ PdsModel::PdsModel(const PdsSpec &spec) : spec_(spec)
     params_.footprintBytes = (end + 63) & ~std::size_t(63);
 
     reset();
+}
+
+/**
+ * Replay an injected tape forward (mirrors generateTape's replay loop):
+ * asserts each op's feasibility invariant — the emitted IR has no
+ * precondition checks, so an infeasible op writes outside the structure
+ * — and accumulates maxTxStores_ for the pmtx undo-area sizing.
+ */
+void
+PdsModel::replayInjected()
+{
+    const PdsParams &p = params_;
+    unsigned txStores = 0;
+    for (unsigned i = 0; i < spec_.numOps; ++i) {
+        const OpRec &rec = ops_[i];
+        LWSP_ASSERT(rec.a <= 0xffffffull,
+                    "injected pds op arg exceeds the 24-bit tape field");
+        switch (spec_.kind) {
+          case Kind::Log:
+            LWSP_ASSERT(rec.op <= opLogTrim, "bad injected log op");
+            if (rec.op == opLogAppend) {
+                std::uint64_t off = read(logCurOff(p));
+                if (off >= p.slotsPerSeg) {
+                    std::uint64_t seg = read(logCurSeg(p));
+                    seg = seg + 1 == p.segs ? 0 : seg + 1;
+                    std::uint64_t u = read(logSegUsed(p, unsigned(seg)));
+                    std::uint64_t trim = read(logTrimId(p));
+                    std::uint64_t kept = 0;
+                    for (std::uint64_t j = 0; j < u; ++j) {
+                        if ((read(logSegEntry(p, unsigned(seg),
+                                              unsigned(j))) >>
+                             32) >= trim)
+                            ++kept;
+                    }
+                    LWSP_ASSERT(kept < p.slotsPerSeg,
+                                "injected log append into a full log");
+                }
+            }
+            break;
+          case Kind::Hash:
+            LWSP_ASSERT(rec.op <= opHashResize, "bad injected hash op");
+            if (rec.op == opHashInsert) {
+                LWSP_ASSERT(rec.a != 0, "injected hash insert of key 0");
+                LWSP_ASSERT(!hashLive_.count(rec.a),
+                            "injected hash insert of a live key ", rec.a);
+                LWSP_ASSERT(hashLive_.size() < p.pool,
+                            "injected hash insert with node pool full");
+            }
+            break;
+          case Kind::Alloc:
+            LWSP_ASSERT(rec.op <= opAllocFree, "bad injected alloc op");
+            LWSP_ASSERT(rec.a < p.handles,
+                        "injected alloc handle out of range");
+            if (rec.op == opAllocAlloc) {
+                LWSP_ASSERT(read(allocFreeHead(p)) != 0 &&
+                                !allocLive_.count(rec.a),
+                            "injected alloc with no free block or live "
+                            "handle ", rec.a);
+            } else {
+                LWSP_ASSERT(allocLive_.count(rec.a),
+                            "injected free of unallocated handle ", rec.a);
+            }
+            break;
+        }
+
+        lastWrites_.clear();
+        lastInstrumented_ = 0;
+        applyOp(rec);
+        ++applied_;
+        w(p.opsDone, applied_);
+        w(p.served, read(p.served) + 1, false);
+
+        txStores += lastInstrumented_;
+        if ((i + 1) % spec_.opsPerTx == 0 || i + 1 == spec_.numOps) {
+            maxTxStores_ = std::max(maxTxStores_, txStores);
+            txStores = 0;
+        }
+    }
 }
 
 std::vector<std::pair<Addr, std::uint64_t>>
@@ -629,10 +736,12 @@ failMsg(const PdsSpec &spec, const std::string &what)
 
 } // namespace
 
+namespace {
+
 std::string
-checkSemantics(const PdsSpec &spec, const mem::MemImage &img)
+checkSemanticsModel(PdsModel &model, const mem::MemImage &img)
 {
-    PdsModel model(spec);
+    const PdsSpec &spec = model.spec();
     while (model.opsApplied() < model.numOps())
         model.step();
     const PdsParams &p = model.params();
@@ -803,13 +912,32 @@ checkSemantics(const PdsSpec &spec, const mem::MemImage &img)
     return "";
 }
 
+} // namespace
+
+std::string
+checkSemantics(const PdsSpec &spec, const mem::MemImage &img)
+{
+    PdsModel model(spec);
+    return checkSemanticsModel(model, img);
+}
+
+std::string
+checkSemantics(const PdsSpec &spec, const std::vector<PdsOp> &ops,
+               const mem::MemImage &img)
+{
+    PdsModel model(spec, ops);
+    return checkSemanticsModel(model, img);
+}
+
 // ---------------------------------------------------------------------------
 // Crash-prefix oracle.
 
+namespace {
+
 std::string
-checkCrashPrefix(const PdsSpec &spec, const mem::MemImage &img)
+checkCrashPrefixModel(PdsModel &model, const mem::MemImage &img)
 {
-    PdsModel model(spec);
+    const PdsSpec &spec = model.spec();
     const PdsParams &p = model.params();
     std::size_t words = p.footprintBytes / 8;
 
@@ -855,6 +983,23 @@ checkCrashPrefix(const PdsSpec &spec, const mem::MemImage &img)
     os << "pds crash-prefix [" << spec.toString() << "]: PM image is not "
        << "initial+prefix of the store stream at opsDone=" << done;
     return os.str();
+}
+
+} // namespace
+
+std::string
+checkCrashPrefix(const PdsSpec &spec, const mem::MemImage &img)
+{
+    PdsModel model(spec);
+    return checkCrashPrefixModel(model, img);
+}
+
+std::string
+checkCrashPrefix(const PdsSpec &spec, const std::vector<PdsOp> &ops,
+                 const mem::MemImage &img)
+{
+    PdsModel model(spec, ops);
+    return checkCrashPrefixModel(model, img);
 }
 
 } // namespace pds

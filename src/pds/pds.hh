@@ -111,6 +111,42 @@ struct PdsWrite
 };
 
 /**
+ * One tape operation. Normally drawn by PdsModel's seeded
+ * feasibility-aware generator; callers (the serve subsystem's request
+ * compiler) may instead inject an externally lowered tape. Meanings of
+ * (op, a, v) per Kind match the builder's dispatch table:
+ *   Log:   0 append(value=v)  1 trim(count=a)
+ *   Hash:  0 insert(key=a, value=v)  1 delete(key=a)  2 lookup(key=a)
+ *          3 resize
+ *   Alloc: 0 alloc(handle=a, payload=v)  1 free(handle=a)
+ * `a` must fit in 24 bits — the tape word packs op | a<<8 and the
+ * driver decodes a with a 0xffffff mask. Injected tapes must satisfy
+ * the same feasibility invariants the generator maintains (e.g. hash
+ * insert only of a non-live key with pool room); the injected-tape
+ * constructor replays and asserts them, because the emitted IR carries
+ * no precondition checks and an infeasible op corrupts memory silently.
+ */
+struct PdsOp
+{
+    unsigned op = 0;
+    std::uint64_t a = 0;
+    std::uint64_t v = 0;
+};
+
+/** Public tape op codes for injected-tape producers (PdsOp::op). */
+constexpr unsigned pdsLogAppend = 0, pdsLogTrim = 1;
+constexpr unsigned pdsHashInsert = 0, pdsHashDelete = 1,
+                   pdsHashLookup = 2, pdsHashResize = 3;
+constexpr unsigned pdsAllocAlloc = 0, pdsAllocFree = 1;
+
+/**
+ * Geometry-only derivation for @p spec (bucket/pool/segment counts and
+ * control-block addresses). undoCap and footprintBytes are tape-
+ * dependent and left unset here — use PdsModel::params() for those.
+ */
+PdsParams pdsGeometry(const PdsSpec &spec);
+
+/**
  * The shadow model: generates the op tape (feasibility-aware, seeded)
  * and replays it store-for-store in the exact order the emitted IR
  * performs them, tracking both the concrete word state and the abstract
@@ -120,6 +156,14 @@ class PdsModel
 {
   public:
     explicit PdsModel(const PdsSpec &spec);
+
+    /**
+     * Injected-tape variant: run @p ops instead of generating a tape.
+     * spec.numOps is overridden to ops.size(); all other spec fields
+     * (kind, sizeClass, opsPerTx, seed for toString) apply unchanged.
+     * Feasibility of every op is asserted during the setup replay.
+     */
+    PdsModel(const PdsSpec &spec, const std::vector<PdsOp> &ops);
 
     const PdsSpec &spec() const { return spec_; }
     const PdsParams &params() const { return params_; }
@@ -166,9 +210,12 @@ class PdsModel
     unsigned maxTxStores() const { return maxTxStores_; }
 
   private:
-    struct OpRec { unsigned op; std::uint64_t a, v; };
+    using OpRec = PdsOp;
 
+    void initStructure();
+    void finishInit();
     void generateTape();
+    void replayInjected();
     void applyOp(const OpRec &rec);
     void w(Addr a, std::uint64_t v, bool instrumented = true);
     std::uint64_t rd(Addr a) const { return read(a); }
@@ -207,6 +254,10 @@ struct PdsProgram
  */
 PdsProgram buildPdsProgram(const PdsSpec &spec, bool pmtx);
 
+/** Injected-tape variant (spec.numOps is overridden to ops.size()). */
+PdsProgram buildPdsProgram(const PdsSpec &spec, bool pmtx,
+                           const std::vector<PdsOp> &ops);
+
 /**
  * Structure-walk semantic oracle against a *completed* image (clean
  * final state, or recovered-and-finished state): log live multiset,
@@ -215,6 +266,11 @@ PdsProgram buildPdsProgram(const PdsSpec &spec, bool pmtx);
  * @return "" on success, else a failure description.
  */
 std::string checkSemantics(const PdsSpec &spec, const mem::MemImage &img);
+
+/** Injected-tape variant of checkSemantics. */
+std::string checkSemantics(const PdsSpec &spec,
+                           const std::vector<PdsOp> &ops,
+                           const mem::MemImage &img);
 
 /**
  * Crash-image prefix-durability oracle (gated LightWSP images from
@@ -225,6 +281,11 @@ std::string checkSemantics(const PdsSpec &spec, const mem::MemImage &img);
  * prefix of the store stream. @return "" on success.
  */
 std::string checkCrashPrefix(const PdsSpec &spec, const mem::MemImage &img);
+
+/** Injected-tape variant of checkCrashPrefix. */
+std::string checkCrashPrefix(const PdsSpec &spec,
+                             const std::vector<PdsOp> &ops,
+                             const mem::MemImage &img);
 
 /** The five schemes the pds benches compare (pmtx is software-only). */
 enum class PdsScheme : std::uint8_t { LightWsp, Capri, Ppa, Cwsp, Pmtx };
@@ -254,6 +315,12 @@ core::SystemConfig makePdsBaselineConfig();
  */
 compiler::CompiledProgram
 preparePdsProgram(const PdsSpec &spec, PdsScheme s, PdsRunMode mode,
+                  unsigned storeThreshold = 0);
+
+/** Injected-tape variant of preparePdsProgram. */
+compiler::CompiledProgram
+preparePdsProgram(const PdsSpec &spec, const std::vector<PdsOp> &ops,
+                  PdsScheme s, PdsRunMode mode,
                   unsigned storeThreshold = 0);
 
 } // namespace pds

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * LatencyRecorder: extract per-op ServeMark completion timestamps (plus
+ * boundary-stall and WPQ-occupancy context) from a trace snapshot, then
+ * fold arrival times into exact open-loop latency percentiles via the
+ * Lindley recursion. The fold is pure post-processing — no simulation
+ * state — so one traced run serves every arrival-rate/burstiness cell.
+ */
+
+#include "serve/serve.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace lwsp {
+namespace serve {
+
+OpMarks
+LatencyRecorder::extractMarks(const ServeWorkload &wl,
+                              const std::vector<trace::Event> &events)
+{
+    const std::size_t numOps = wl.ops.size();
+    OpMarks marks;
+    marks.completion.assign(numOps, 0);
+    marks.stallCum.assign(numOps, 0);
+    marks.wpqOcc.assign(numOps, 0);
+    std::vector<bool> seen(numOps, false);
+
+    // Walk chronologically, tracking per-MC WPQ occupancy so each mark
+    // can be annotated with the instantaneous max across MCs.
+    std::map<std::int32_t, std::uint64_t> occ;
+    std::size_t found = 0;
+    for (const trace::Event &e : events) {
+        if (e.type == trace::EventType::WpqEnqueue) {
+            occ[e.unit] = e.aux;
+        } else if (e.type == trace::EventType::WpqRelease) {
+            occ[e.unit] = trace::releaseOccupancy(e.aux);
+        } else if (e.type == trace::EventType::ServeMark) {
+            // value = served count after the op (1-based).
+            LWSP_ASSERT(e.value >= 1 && e.value <= numOps,
+                        "ServeMark value ", e.value,
+                        " outside the op tape (", numOps, " ops)");
+            std::size_t i = static_cast<std::size_t>(e.value) - 1;
+            LWSP_ASSERT(!seen[i], "duplicate ServeMark for op ", e.value);
+            seen[i] = true;
+            ++found;
+            marks.completion[i] = e.tick;
+            marks.stallCum[i] = e.aux;
+            std::uint64_t mx = 0;
+            for (const auto &kv : occ)
+                mx = std::max(mx, kv.second);
+            marks.wpqOcc[i] = mx;
+        }
+    }
+    LWSP_ASSERT(found == numOps, "trace has ", found, " of ", numOps,
+                " ServeMarks — ring buffer wrapped? raise "
+                "traceBufferEvents");
+    for (std::size_t i = 1; i < numOps; ++i) {
+        LWSP_ASSERT(marks.completion[i] > marks.completion[i - 1],
+                    "ServeMark ticks not strictly increasing at op ", i);
+    }
+    return marks;
+}
+
+TailReport
+LatencyRecorder::fold(const ServeWorkload &wl, const OpMarks &marks,
+                      const std::vector<Tick> &arrivals)
+{
+    const std::size_t n = wl.requests.size();
+    LWSP_ASSERT(arrivals.size() == n, "arrival/request count mismatch");
+    LWSP_ASSERT(!wl.opEnd.empty() && marks.completion.size() == wl.ops.size(),
+                "fold: marks do not cover the op tape");
+
+    // Per-request service time D_r: completing-mark deltas. D_0 starts
+    // at tick 0 and so absorbs the driver preamble — a fixed few-cycle
+    // constant diluted across the population (see DESIGN.md §14).
+    TailReport rep;
+    rep.requests = n;
+    stats::Percentiles lat;
+    std::vector<double> latency(n, 0.0);
+    std::vector<std::uint64_t> stallSvc(n, 0);
+    std::vector<std::uint64_t> occAt(n, 0);
+
+    double w = 0.0;  // W_{r-1}, queue-time completion of the previous req
+    Tick prevC = 0;
+    std::uint64_t prevStall = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+        std::size_t lastOp = wl.opEnd[r] - 1;
+        Tick c = marks.completion[lastOp];
+        std::uint64_t stall = marks.stallCum[lastOp];
+        double d = static_cast<double>(c - prevC);
+        double a = static_cast<double>(arrivals[r]);
+        double start = std::max(w, a);
+        w = start + d;
+        latency[r] = w - a;
+        stallSvc[r] = stall - prevStall;
+        occAt[r] = marks.wpqOcc[lastOp];
+        lat.sample(latency[r]);
+        prevC = c;
+        prevStall = stall;
+    }
+
+    rep.p50 = lat.p50();
+    rep.p99 = lat.p99();
+    rep.p999 = lat.p999();
+    rep.max = lat.max();
+    rep.mean = lat.mean();
+
+    // Attribute the p99: the first request whose latency equals the
+    // nearest-rank p99 sample (deterministic tie-break by request id).
+    std::size_t p99r = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+        if (latency[r] == rep.p99) {
+            p99r = r;
+            break;
+        }
+    }
+    rep.stallAtP99 = static_cast<double>(stallSvc[p99r]);
+    rep.wpqOccAtP99 = occAt[p99r];
+    return rep;
+}
+
+} // namespace serve
+} // namespace lwsp

@@ -28,6 +28,7 @@ eventTypeName(EventType t)
       case EventType::BcastRetry: return "bcast-retry";
       case EventType::FaultInjected: return "fault-injected";
       case EventType::RecoveryVerdict: return "recovery-verdict";
+      case EventType::ServeMark: return "serve-mark";
     }
     return "<bad>";
 }
@@ -43,6 +44,7 @@ categoryName(Category c)
       case Category::Checkpoint: return "checkpoint";
       case Category::Power: return "power";
       case Category::Sched: return "sched";
+      case Category::Serve: return "serve";
     }
     return "<bad>";
 }
@@ -52,7 +54,7 @@ parseCategory(const char *name)
 {
     for (Category c : {Category::Region, Category::Boundary, Category::Wpq,
                        Category::Cache, Category::Checkpoint,
-                       Category::Power, Category::Sched}) {
+                       Category::Power, Category::Sched, Category::Serve}) {
         if (std::strcmp(name, categoryName(c)) == 0)
             return categoryBit(c);
     }

@@ -36,9 +36,10 @@ enum class Category : std::uint32_t
     Checkpoint = 1u << 4,  ///< compiler checkpoint stores reaching PM path
     Power      = 1u << 5,  ///< power failure, crash drain, recovery
     Sched      = 1u << 6,  ///< context switches
+    Serve      = 1u << 7,  ///< service-workload request markers
 };
 
-constexpr std::uint32_t allCategories = 0x7fu;
+constexpr std::uint32_t allCategories = 0xffu;
 
 constexpr std::uint32_t
 categoryBit(Category c)
@@ -104,10 +105,16 @@ enum class EventType : std::uint8_t
     // Category::Power
     FaultInjected,    ///< fault layer acted (value=axis, aux=detail)
     RecoveryVerdict,  ///< recovery classified (value=RecoveryOutcome)
+
+    // Category::Serve (appended with the serve subsystem; end of enum
+    // for binary-format compatibility)
+    ServeMark,        ///< served-counter store retired (unit=core,
+                      ///< value=served count, aux=cumulative
+                      ///< boundary-stall cycles on that core)
 };
 
 constexpr std::uint8_t numEventTypes =
-    static_cast<std::uint8_t>(EventType::RecoveryVerdict) + 1;
+    static_cast<std::uint8_t>(EventType::ServeMark) + 1;
 
 /** The Category an EventType belongs to. */
 constexpr Category
@@ -139,6 +146,8 @@ categoryOf(EventType t)
         return Category::Power;
       case EventType::CtxSwitch:
         return Category::Sched;
+      case EventType::ServeMark:
+        return Category::Serve;
     }
     return Category::Power;
 }

@@ -190,6 +190,7 @@ coreScoped(EventType t)
       case EventType::CacheWriteback:
       case EventType::CheckpointStore:
       case EventType::CtxSwitch:
+      case EventType::ServeMark:
         return true;
       default:
         return false;
@@ -335,6 +336,9 @@ writePerfetto(std::ostream &os, const std::vector<Event> &events,
     // Per-core span depth: a trace that starts mid-run (ring wrap) can
     // open with an unmatched close; drop those so B/E stay balanced.
     std::map<int, unsigned> depth;
+    // Previous ServeMark tick per core: each mark closes one request
+    // span stretching back to the preceding mark.
+    std::map<int, Tick> lastMark;
 
     for (const Event &e : events) {
         int tid = trackOf(e);
@@ -366,6 +370,22 @@ writePerfetto(std::ostream &os, const std::vector<Event> &events,
                << ".wpq_occupancy\",\"cat\":\"" << cat
                << "\",\"args\":{\"entries\":" << occ << "}";
             w.close();
+            break;
+          }
+          case EventType::ServeMark: {
+            // Complete span per served op: previous mark on this core
+            // (first mark: trace start) to this retirement tick.
+            Tick start = 0;
+            auto it = lastMark.find(tid);
+            if (it != lastMark.end())
+                start = it->second;
+            w.open('X', start, tid);
+            os << ",\"dur\":" << (e.tick - start) << ",\"name\":\"serve op "
+               << e.value << "\",\"cat\":\"" << cat
+               << "\",\"args\":{\"served\":" << e.value
+               << ",\"bdry_stall_cum\":" << e.aux << "}";
+            w.close();
+            lastMark[tid] = e.tick;
             break;
           }
           default:

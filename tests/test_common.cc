@@ -197,3 +197,85 @@ TEST(Stats, StatGroupDumpAndLookup)
     EXPECT_NE(os.str().find("mc0.flushes 7"), std::string::npos);
     EXPECT_NE(os.str().find("WPQ flushes"), std::string::npos);
 }
+
+TEST(Stats, PercentilesNearestRank)
+{
+    stats::Percentiles p;
+    // 1..100: nearest-rank pX is exactly X for this population.
+    for (int i = 1; i <= 100; ++i)
+        p.sample(i);
+    EXPECT_DOUBLE_EQ(p.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(p.p90(), 90.0);
+    EXPECT_DOUBLE_EQ(p.p99(), 99.0);
+    EXPECT_DOUBLE_EQ(p.p999(), 100.0); // ceil(0.999*100)=100
+    EXPECT_DOUBLE_EQ(p.max(), 100.0);
+    EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.percentile(1.0), 100.0);
+    EXPECT_EQ(p.count(), 100u);
+    EXPECT_NEAR(p.mean(), 50.5, 1e-12);
+}
+
+TEST(Stats, PercentilesInsertionOrderIrrelevant)
+{
+    stats::Percentiles fwd, rev;
+    for (int i = 0; i < 1000; ++i)
+        fwd.sample(i);
+    for (int i = 999; i >= 0; --i)
+        rev.sample(i);
+    EXPECT_DOUBLE_EQ(fwd.p50(), rev.p50());
+    EXPECT_DOUBLE_EQ(fwd.p99(), rev.p99());
+    EXPECT_DOUBLE_EQ(fwd.p999(), rev.p999());
+    EXPECT_DOUBLE_EQ(fwd.max(), rev.max());
+}
+
+TEST(Stats, PercentilesEmptyAndSampleAfterQuery)
+{
+    stats::Percentiles p;
+    EXPECT_DOUBLE_EQ(p.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(p.max(), 0.0);
+    EXPECT_EQ(p.count(), 0u);
+
+    p.sample(10);
+    EXPECT_DOUBLE_EQ(p.p50(), 10.0); // triggers the lazy sort
+    p.sample(1);                     // must invalidate sorted state
+    EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.max(), 10.0);
+    p.reset();
+    EXPECT_EQ(p.count(), 0u);
+    EXPECT_DOUBLE_EQ(p.p99(), 0.0);
+}
+
+TEST(Stats, PercentilesHeavyTailPopulation)
+{
+    // 989 fast samples + 11 slow ones: under nearest-rank, the p99
+    // sample (rank ceil(0.99*1000) = 990) is the first slow one.
+    stats::Percentiles p;
+    for (int i = 0; i < 989; ++i)
+        p.sample(100);
+    for (int i = 0; i < 11; ++i)
+        p.sample(10000 + i);
+    EXPECT_DOUBLE_EQ(p.p50(), 100.0);
+    EXPECT_DOUBLE_EQ(p.p99(), 10000.0);
+    EXPECT_DOUBLE_EQ(p.p999(), 10009.0);
+    EXPECT_DOUBLE_EQ(p.max(), 10010.0);
+}
+
+TEST(Stats, PercentilesInStatGroupDumps)
+{
+    stats::StatGroup g("serve");
+    stats::Percentiles p;
+    for (int i = 1; i <= 10; ++i)
+        p.sample(i);
+    g.addPercentiles("latency", &p, "request latency");
+
+    std::ostringstream txt;
+    g.dump(txt);
+    EXPECT_NE(txt.str().find("serve.latency.p50 5"), std::string::npos);
+    EXPECT_NE(txt.str().find("serve.latency.p999 10"), std::string::npos);
+    EXPECT_NE(txt.str().find("serve.latency.count 10"), std::string::npos);
+
+    std::ostringstream js;
+    g.dumpJson(js);
+    EXPECT_NE(js.str().find("\"latency\":{\"p50\":5"), std::string::npos);
+    EXPECT_NE(js.str().find("\"count\":10}"), std::string::npos);
+}

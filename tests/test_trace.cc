@@ -640,9 +640,11 @@ TEST(TraceReport, RunReportJsonIsValidAndVersioned)
 
     JsonChecker checker(json);
     EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
-    EXPECT_NE(json.find("\"schema\":\"lwsp-run-report-v1\""),
+    EXPECT_NE(json.find("\"schema\":\"lwsp-run-report-v1.1\""),
               std::string::npos);
     EXPECT_NE(json.find("\"workload\":\"rb\""), std::string::npos);
     EXPECT_NE(json.find("\"cycles\""), std::string::npos);
     EXPECT_NE(json.find("\"compile\""), std::string::npos);
+    EXPECT_NE(json.find("\"cycles_percentiles\""), std::string::npos);
+    EXPECT_NE(json.find("\"p999\""), std::string::npos);
 }
