@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Figure 22 (extension): service availability under failure storms —
+ * MTTR (power-on to first served request) and the useful-work fraction
+ * of a stormed service lifetime, per persistence scheme.
+ *
+ * Each row puts a fig21 service tape (96 requests, Zipf keys) through a
+ * seeded fault::FailureSchedule: an initial power failure at 60% of the
+ * crash-free run, then the schedule's drain interrupts, recovery
+ * re-entries and post-recovery exec failures, exactly as the fuzz storm
+ * campaign replays them. Every boot is recovered with
+ * System::recoverChecked (a fault-free image must never be classified
+ * unrecoverable) and probed for MTTR on a throwaway replica —
+ * System::recover + runUntilWordChanges on the serve counter, the fig20
+ * measurement — while the real lineage machine runs on into the next
+ * failure. Availability is goldenCycles / wallCycles: the crash-free
+ * run's cycle count over the powered cycles the stormed lifetime needed
+ * to finish the same tape (re-execution waste + drain/recovery overhead
+ * push it below 1).
+ *
+ * Recovery mode substitutes the LightWSP gated-commit binary for
+ * capri/ppa/cwsp's hardware checkpoints (DESIGN.md §13); pmtx rides its
+ * own undo-log path, so a storm that lands mid-undo-replay exercises
+ * the rollback's own crash consistency. Output-indexed result slots and
+ * per-row seeds keep the CSV byte-identical at any --jobs count and
+ * either --engine; quick mode runs the identical (already small) grid.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "bench_util.hh"
+#include "core/system.hh"
+#include "fault/storm.hh"
+#include "pds/pds.hh"
+#include "serve/serve.hh"
+
+using namespace lwsp;
+
+namespace {
+
+constexpr pds::PdsScheme kSchemes[] = {
+    pds::PdsScheme::LightWsp, pds::PdsScheme::Capri, pds::PdsScheme::Ppa,
+    pds::PdsScheme::Cwsp,     pds::PdsScheme::Pmtx,
+};
+constexpr serve::Profile kProfiles[] = {serve::Profile::Varnish,
+                                        serve::Profile::Horde};
+constexpr unsigned kStormEvents = 3; ///< extra failures per lifetime
+
+serve::ServeSpec
+specFor(serve::Profile prof)
+{
+    serve::ServeSpec spec;
+    spec.profile = prof;
+    spec.sizeClass = 1;
+    spec.numRequests = 96;
+    spec.seed = 11;
+    return spec;
+}
+
+struct Point
+{
+    serve::Profile profile = serve::Profile::Varnish;
+    pds::PdsScheme scheme = pds::PdsScheme::LightWsp;
+    fault::FailureSchedule storm;
+    unsigned failures = 0;  ///< power failures actually fired
+    unsigned boots = 0;     ///< recoveries (incl. re-entered preambles)
+    unsigned mttrSamples = 0;
+    Tick mttrSum = 0;
+    Tick mttrMax = 0;
+    Tick goldenCycles = 0;
+    Tick wallCycles = 0;    ///< powered cycles across the whole lifetime
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+
+    std::vector<Point> points;
+    for (auto prof : kProfiles) {
+        for (auto s : kSchemes) {
+            Point p;
+            p.profile = prof;
+            p.scheme = s;
+            points.push_back(p);
+        }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    harness::parallelFor(args.jobs, points.size(), [&](std::size_t i) {
+        Point &p = points[i];
+        auto wl = serve::buildWorkload(specFor(p.profile));
+        auto cfg = pds::makePdsConfig(p.scheme, pds::PdsRunMode::Recovery);
+        cfg.engine = harness::defaultSimEngine(); // honour --engine A/B
+        auto prog = pds::preparePdsProgram(wl.pdsSpec, wl.ops, p.scheme,
+                                           pds::PdsRunMode::Recovery);
+        pds::PdsParams params = pds::PdsModel(wl.pdsSpec, wl.ops).params();
+
+        core::System golden(cfg, prog, 1);
+        auto gres = golden.run();
+        LWSP_ASSERT(gres.completed, "fig22 golden did not complete: ",
+                    wl.spec.toString());
+        p.goldenCycles = gres.cycles;
+
+        // The row's storm is deterministic in its grid index, so the
+        // CSV never depends on scheduling.
+        p.storm = fault::FailureSchedule::random(
+            0xf22u + 7919u * static_cast<std::uint64_t>(i), kStormEvents,
+            gres.cycles / 4 + 1);
+        std::size_t stormIdx = 0;
+        auto takeDrains = [&p, &stormIdx] {
+            std::vector<unsigned> iters;
+            while (stormIdx < p.storm.events.size() &&
+                   p.storm.events[stormIdx].phase ==
+                       fault::FailurePhase::Drain) {
+                iters.push_back(static_cast<unsigned>(
+                    p.storm.events[stormIdx].at));
+                ++stormIdx;
+            }
+            return iters;
+        };
+
+        core::System victim(cfg, prog, 1);
+        auto vr = victim.runWithFailureStorm(gres.cycles * 6 / 10,
+                                             takeDrains());
+        LWSP_ASSERT(!vr.completed, "fig22 victim outran its failure: ",
+                    wl.spec.toString());
+        p.wallCycles += vr.cycles;
+        p.failures = 1 + static_cast<unsigned>(stormIdx);
+
+        // Loop-head invariant: *cur is a crashed machine whose PM image
+        // is the one to recover from.
+        const core::System *cur = &victim;
+        std::unique_ptr<core::System> hold;
+        while (true) {
+            auto recres = core::System::recoverChecked(
+                cfg, prog, 1, cur->pmImage(), {}, &cur->crashReport());
+            ++p.boots;
+            while (stormIdx < p.storm.events.size() &&
+                   p.storm.events[stormIdx].phase ==
+                       fault::FailurePhase::Recovery) {
+                ++stormIdx;
+                ++p.failures;
+                auto retry = core::System::recoverChecked(
+                    cfg, prog, 1, cur->pmImage(), {},
+                    &cur->crashReport());
+                ++p.boots;
+                LWSP_ASSERT(retry.outcome == recres.outcome,
+                            "fig22 recovery re-entry changed verdict: ",
+                            core::recoveryOutcomeName(recres.outcome),
+                            " -> ",
+                            core::recoveryOutcomeName(retry.outcome));
+                recres = std::move(retry);
+            }
+            LWSP_ASSERT(recres.outcome !=
+                            core::RecoveryOutcome::DetectedUnrecoverable,
+                        "fig22 fault-free image unrecoverable: ",
+                        recres.detail);
+
+            // MTTR probe: a throwaway replica recovered from the same
+            // image, run until the serve counter first moves. Late
+            // crashes may leave nothing to serve; then there is no
+            // sample (MTTR of a finished tape is not defined).
+            auto probeSys = core::System::recover(cfg, prog, 1,
+                                                  cur->pmImage(), {});
+            std::uint64_t servedAtBoot =
+                probeSys->execImage().read(params.served);
+            auto probe = probeSys->runUntilWordChanges(params.served,
+                                                       servedAtBoot);
+            if (probe.served) {
+                ++p.mttrSamples;
+                p.mttrSum += probe.serveTick;
+                p.mttrMax = std::max(p.mttrMax, probe.serveTick);
+            }
+
+            // All uses of *cur are done; the move below may destroy the
+            // machine it points into.
+            hold = std::move(recres.sys);
+            cur = nullptr;
+            if (stormIdx < p.storm.events.size()) {
+                Tick gap = p.storm.events[stormIdx].at;
+                ++stormIdx;
+                ++p.failures;
+                auto er = hold->runWithFailureStorm(gap, takeDrains());
+                p.wallCycles += er.cycles;
+                if (er.completed) {
+                    // Finished before the failure landed; the schedule
+                    // tail is moot.
+                    p.failures = 1 + static_cast<unsigned>(stormIdx);
+                    break;
+                }
+                LWSP_ASSERT(hold->crashed(),
+                            "fig22 exec round neither completed nor "
+                            "crashed");
+                cur = hold.get();
+                continue;
+            }
+            auto fr = hold->run();
+            p.wallCycles += fr.cycles;
+            LWSP_ASSERT(fr.completed, "fig22 final boot did not complete");
+            break;
+        }
+        std::string err =
+            pds::checkSemantics(wl.pdsSpec, wl.ops, hold->execImage());
+        LWSP_ASSERT(err.empty(), "fig22 semantic check failed: ", err);
+    });
+
+    harness::SweepStats stats;
+    stats.jobs = args.jobs ? args.jobs
+                           : std::max(1u,
+                                      std::thread::hardware_concurrency());
+    stats.points = points.size();
+    stats.wallSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    for (const auto &p : points)
+        stats.simulatedCycles += p.goldenCycles + p.wallCycles;
+
+    harness::ResultTable table(
+        "Fig 22: availability under failure storms (96-request service "
+        "tapes; initial crash at 60% + 3 scheduled failures). MTTR = "
+        "power-on to first served request; avail = crash-free cycles / "
+        "powered cycles");
+    for (const char *c : {"mttr_mean", "mttr_max", "avail_pct"})
+        table.addColumn(c);
+
+    std::ostringstream csvBody;
+    csvBody << "workload,scheme,failures,boots,mttr_mean,mttr_max,"
+               "golden_cycles,wall_cycles,availability\n";
+    for (const Point &p : points) {
+        double mean = p.mttrSamples
+                          ? static_cast<double>(p.mttrSum) /
+                                static_cast<double>(p.mttrSamples)
+                          : 0.0;
+        double avail = static_cast<double>(p.goldenCycles) /
+                       static_cast<double>(p.wallCycles);
+        std::string name =
+            std::string(serve::profileName(p.profile)) + "/" +
+            pds::pdsSchemeName(p.scheme);
+        table.addRow(name, pds::pdsSchemeName(p.scheme),
+                     {mean, static_cast<double>(p.mttrMax),
+                      100.0 * avail});
+        csvBody << name << ',' << pds::pdsSchemeName(p.scheme) << ','
+                << p.failures << ',' << p.boots << ','
+                << std::setprecision(10) << mean << ',' << p.mttrMax
+                << ',' << p.goldenCycles << ',' << p.wallCycles << ','
+                << avail << '\n';
+    }
+
+    table.print(std::cout);
+    if (!args.csvPath.empty()) {
+        std::ofstream csv(args.csvPath);
+        csv << csvBody.str();
+        std::cout << "csv written to " << args.csvPath << '\n';
+    }
+    if (!args.sweepJsonPath.empty())
+        harness::writeSweepJson(args.sweepJsonPath, args.benchName, stats);
+    if (!args.reportPath.empty()) {
+        // Emit the storm rows through the shared v1.2 run-report writer
+        // so the recovery-lineage fields carry real values for once.
+        std::vector<harness::RunRecord> recs;
+        for (const Point &p : points) {
+            harness::RunRecord rec;
+            rec.spec.workload =
+                std::string(serve::profileName(p.profile)) + "/" +
+                pds::pdsSchemeName(p.scheme) + "+storm=" +
+                p.storm.toString();
+            rec.outcome.threads = 1;
+            rec.outcome.result.completed = true;
+            rec.outcome.result.cycles = p.wallCycles;
+            rec.outcome.recovered = true;
+            rec.outcome.recoveryOutcome = core::RecoveryOutcome::Recovered;
+            rec.outcome.failuresSurvived = p.failures;
+            recs.push_back(std::move(rec));
+        }
+        harness::writeRunReports(args.reportPath, args.benchName, recs,
+                                 stats);
+        std::cout << "run report written to " << args.reportPath << '\n';
+    }
+    return 0;
+}

@@ -24,6 +24,16 @@
  * recovery verdict and the crash drain's fault report; exit status 3
  * means the injected fault was detected but unrecoverable.
  *
+ * `crash` also accepts `--storm SCHED` (fault/storm.hh '+'-joined
+ * schedule, e.g. `d1+r+x1500`): instead of a single clean failure the
+ * machine is put through the whole failure storm — drains interrupted
+ * mid-quiescence, recovery preambles killed and re-entered, recovered
+ * executions crashed again — with each power-on's verdict checked for
+ * idempotence. `--stats-json FILE` dumps the surviving system's stat
+ * registry (including the system.recoveryOutcome /
+ * system.failuresSurvived lineage counters) after the post-recovery
+ * run.
+ *
  * Schemes: baseline psp-ideal lightwsp naive-sfence ppa capri cwsp.
  * `<file.lir>` is the textual LightIR format (see ir/text_io.hh).
  */
@@ -37,6 +47,7 @@
 #include "analysis/wsp_checker.hh"
 #include "compiler/compiler.hh"
 #include "core/system.hh"
+#include "fault/storm.hh"
 #include "harness/runner.hh"
 #include "ir/text_io.hh"
 #include "trace/export.hh"
@@ -57,7 +68,9 @@ usage()
                  " [--stats-json FILE] [--faults SPEC]"
                  " [--engine event|cycle]\n"
                  "       lwsp_cli crash <app> <fraction 0..1>"
-                 " [--faults SPEC] [--engine event|cycle]\n");
+                 " [--faults SPEC] [--engine event|cycle]\n"
+                 "                      [--storm SCHED]"
+                 " [--stats-json FILE]\n");
     return 2;
 }
 
@@ -282,8 +295,16 @@ cmdRun(const std::string &app, const std::string &scheme_name,
 
 int
 cmdCrash(const std::string &app, double fraction,
-         const std::string &faults_spec, const std::string &engine_name)
+         const std::string &faults_spec, const std::string &engine_name,
+         const std::string &storm_spec, const std::string &stats_json)
 {
+    fault::FailureSchedule storm;
+    if (!storm_spec.empty()) {
+        std::string err;
+        if (!fault::FailureSchedule::parse(storm_spec, storm, err))
+            fatal("bad --storm schedule: ", err);
+    }
+
     const auto &profile = workloads::profileByName(app);
     auto w = workloads::generate(profile);
     auto lock_addrs = w.lockAddrs;
@@ -308,9 +329,25 @@ cmdCrash(const std::string &app, double fraction,
         rcfg.faults.hardenedCkpt = true;
     }
 
+    // Schedule cursor: runs of consecutive Drain events become the
+    // interrupt budgets of whichever crash drain comes next.
+    std::size_t stormIdx = 0;
+    auto takeDrains = [&storm, &stormIdx] {
+        std::vector<unsigned> iters;
+        while (stormIdx < storm.events.size() &&
+               storm.events[stormIdx].phase ==
+                   fault::FailurePhase::Drain) {
+            iters.push_back(static_cast<unsigned>(
+                storm.events[stormIdx].at));
+            ++stormIdx;
+        }
+        return iters;
+    };
+
     core::System victim(vcfg, prog, profile.threads);
-    auto vr = victim.runWithPowerFailure(
-        static_cast<Tick>(fraction * static_cast<double>(gr.cycles)));
+    auto vr = victim.runWithFailureStorm(
+        static_cast<Tick>(fraction * static_cast<double>(gr.cycles)),
+        takeDrains());
     if (vr.completed) {
         std::printf("program finished before the failure point\n");
         return 0;
@@ -332,26 +369,94 @@ cmdCrash(const std::string &app, double fraction,
                         cr.truncationHazard ? " (truncation hazard)" : "");
     }
 
-    auto recres = core::System::recoverChecked(
-        rcfg, prog, profile.threads, victim.pmImage(), lock_addrs, &cr);
-    std::printf("verdict       %s%s%s\n",
-                core::recoveryOutcomeName(recres.outcome),
-                recres.detail.empty() ? "" : ": ",
-                recres.detail.c_str());
-    if (recres.outcome == core::RecoveryOutcome::DetectedUnrecoverable)
-        return 3;
+    // Crash/recover rounds through the rest of the schedule. Loop-head
+    // invariant: *cur is a crashed machine whose image we recover from.
+    const core::System *cur = &victim;
+    std::unique_ptr<core::System> sys;
+    core::RunResult rr;
+    while (true) {
+        auto recres = core::System::recoverChecked(
+            rcfg, prog, profile.threads, cur->pmImage(), lock_addrs,
+            &cur->crashReport());
+        // Recovery-phase failures: power died during the preamble, so
+        // the retry re-validates the same image and must agree.
+        while (stormIdx < storm.events.size() &&
+               storm.events[stormIdx].phase ==
+                   fault::FailurePhase::Recovery) {
+            ++stormIdx;
+            auto retry = core::System::recoverChecked(
+                rcfg, prog, profile.threads, cur->pmImage(), lock_addrs,
+                &cur->crashReport());
+            std::printf("storm         recovery re-entered\n");
+            if (retry.outcome != recres.outcome) {
+                std::printf("verdict       CHANGED on re-entry: "
+                            "%s -> %s\n",
+                            core::recoveryOutcomeName(recres.outcome),
+                            core::recoveryOutcomeName(retry.outcome));
+                return 1;
+            }
+            recres = std::move(retry);
+        }
+        std::printf("verdict       %s%s%s\n",
+                    core::recoveryOutcomeName(recres.outcome),
+                    recres.detail.empty() ? "" : ": ",
+                    recres.detail.c_str());
+        if (recres.outcome ==
+            core::RecoveryOutcome::DetectedUnrecoverable) {
+            return 3;
+        }
+        // All uses of *cur are done; the assignment below may destroy
+        // the machine it points into.
+        sys = std::move(recres.sys);
+        cur = nullptr;
+        sys->setRecoveryLineage(recres.outcome,
+                                1 + static_cast<unsigned>(stormIdx));
+        if (stormIdx >= storm.events.size()) {
+            rr = sys->run();
+            break;
+        }
+        Tick gap = storm.events[stormIdx].at;
+        ++stormIdx;
+        rr = sys->runWithFailureStorm(gap, takeDrains());
+        if (rr.completed) {
+            std::printf("storm         finished before the next "
+                        "failure landed\n");
+            break;
+        }
+        if (!sys->crashed()) {
+            std::printf("storm         neither completed nor crashed\n");
+            return 1;
+        }
+        std::printf("crashed again at cycle %llu; recovering...\n",
+                    static_cast<unsigned long long>(rr.cycles));
+        cur = sys.get();
+    }
 
-    auto rr = recres.sys->run();
     Addr lo = workloads::Workload::heapBase;
     Addr hi = lo + static_cast<Addr>(profile.threads) *
                        profile.footprintBytes;
     bool ok = rr.completed &&
-              recres.sys->pmImage()
-                  .diffInRange(golden.pmImage(), lo, hi)
-                  .empty();
+              sys->pmImage().diffInRange(golden.pmImage(), lo, hi).empty();
+    if (!storm.empty())
+        std::printf("storm         survived %u power failures (%s)\n",
+                    sys->failuresSurvived(), storm.toString().c_str());
     std::printf("recovery %s: application state %s the crash-free run\n",
                 rr.completed ? "completed" : "DID NOT COMPLETE",
                 ok ? "matches" : "DIFFERS from");
+
+    if (!stats_json.empty()) {
+        stats::Registry reg;
+        sys->registerStats(reg);
+        std::ofstream os(stats_json);
+        if (!os) {
+            std::fprintf(stderr, "cannot write stats to %s\n",
+                         stats_json.c_str());
+            return 1;
+        }
+        reg.dumpJson(os);
+        std::printf("stats         %zu groups -> %s\n", reg.numGroups(),
+                    stats_json.c_str());
+    }
     return ok ? 0 : 1;
 }
 
@@ -394,17 +499,22 @@ main(int argc, char **argv)
                           engine);
         }
         if (cmd == "crash" && argc >= 4) {
-            std::string faults, engine;
+            std::string faults, engine, storm, stats_json;
             for (int i = 4; i < argc; ++i) {
                 std::string a = argv[i];
                 if (a == "--faults" && i + 1 < argc)
                     faults = argv[++i];
                 else if (a == "--engine" && i + 1 < argc)
                     engine = argv[++i];
+                else if (a == "--storm" && i + 1 < argc)
+                    storm = argv[++i];
+                else if (a == "--stats-json" && i + 1 < argc)
+                    stats_json = argv[++i];
                 else
                     return usage();
             }
-            return cmdCrash(argv[2], std::atof(argv[3]), faults, engine);
+            return cmdCrash(argv[2], std::atof(argv[3]), faults, engine,
+                            storm, stats_json);
         }
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

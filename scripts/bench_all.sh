@@ -5,7 +5,7 @@
 #
 #   scripts/bench_all.sh [--quick] [--jobs N] [--build-dir DIR]
 #                        [--out-dir DIR] [--speedup] [--fuzz] [--faults]
-#                        [--trace] [--serve]
+#                        [--trace] [--serve] [--storm]
 #
 #   --quick      one representative app per suite (fast smoke pass)
 #   --jobs N     sweep worker threads per bench (default: all cores)
@@ -27,6 +27,12 @@
 #                (open-loop request streams crash-injected mid-stream,
 #                with the structure oracle replaying the lowered request
 #                tape; deterministic, finishes in seconds)
+#   --storm      additionally run the failure-storm gate: the seeded
+#                storm campaign (drain interrupts, recovery re-entries,
+#                post-recovery crashes, composed with the hardware fault
+#                axes) plus the exhaustive crash-at-every-cycle-of-
+#                recovery matrix (all 5 schemes x pds/serve/builtin
+#                sources; budget several minutes)
 #
 # CSV checking: quick-mode rows are a subset of the full reference
 # tables, so each emitted row is compared against the same-named row in
@@ -43,6 +49,7 @@ FUZZ=0
 FAULTS=0
 TRACE=0
 SERVE=0
+STORM=0
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build"
 OUT_DIR=""
@@ -58,9 +65,10 @@ while [ $# -gt 0 ]; do
         --faults) FAULTS=1 ;;
         --trace) TRACE=1 ;;
         --serve) SERVE=1 ;;
+        --storm) STORM=1 ;;
         *) echo "usage: $0 [--quick] [--jobs N] [--build-dir DIR]" \
                 "[--out-dir DIR] [--speedup] [--fuzz] [--faults]" \
-                "[--trace] [--serve]" >&2
+                "[--trace] [--serve] [--storm]" >&2
            exit 2 ;;
     esac
     shift
@@ -95,6 +103,7 @@ fig18_wpq_hit
 fig19_pds
 fig20_recovery
 fig21_service
+fig22_availability
 tab02_conflict_rate
 tab_vg3_region_stats
 abl_commit_pipeline
@@ -238,6 +247,36 @@ if [ "$SERVE" = 1 ]; then
         else
             echo "  SERVE CAMPAIGN FAILED (reproducer spec above," \
                  "full log: $OUT_DIR/serve_campaign.txt)"
+            FAILED=1
+        fi
+    fi
+fi
+
+if [ "$STORM" = 1 ]; then
+    FC="$BUILD_DIR/src/fuzz/fuzz_crash"
+    [ -x "$FC" ] || FC="$(find "$BUILD_DIR" -name fuzz_crash -type f \
+                          -perm -u+x | head -1)"
+    if [ -z "$FC" ] || [ ! -x "$FC" ]; then
+        echo "error: fuzz_crash binary not found under $BUILD_DIR" >&2
+        FAILED=1
+    else
+        echo "== storm campaign (25 seeds, storms composed with faults)"
+        if "$FC" --seeds 25 --base-seed 1 --mode storm --crash-points 8 \
+                --faults | tee "$OUT_DIR/storm_campaign.txt" | tail -4
+        then
+            echo "  storm campaign clean (no silent corruption)"
+        else
+            echo "  STORM CAMPAIGN FAILED (reproducer spec above," \
+                 "full log: $OUT_DIR/storm_campaign.txt)"
+            FAILED=1
+        fi
+        echo "== recovery matrix (crash at every cycle of recovery)"
+        if "$FC" --recovery-matrix \
+                | tee "$OUT_DIR/recovery_matrix.txt" | tail -3; then
+            echo "  recovery matrix clean (0 hangs, 0 corruption)"
+        else
+            echo "  RECOVERY MATRIX FAILED (full log:" \
+                 "$OUT_DIR/recovery_matrix.txt)"
             FAILED=1
         fi
     fi

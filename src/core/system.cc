@@ -322,13 +322,21 @@ System::runWithPowerFailure(Tick fail_at)
 RunResult
 System::runWithDoubleFailureDuringDrain(Tick fail_at, unsigned drain_iters)
 {
+    return runWithFailureStorm(fail_at, {drain_iters});
+}
+
+RunResult
+System::runWithFailureStorm(Tick fail_at,
+                            const std::vector<unsigned> &drain_interrupts)
+{
     if (advance(fail_at))
         return collectResult(true);
-    // First failure: run the drain but lose power again after
-    // drain_iters quiescence iterations...
-    executeCrashDrain(sim_.now(), static_cast<int>(drain_iters));
-    // ...the battery-backed WPQ and MC registers survive, so the second
-    // failure's drain picks up exactly where the first stopped.
+    // Each interrupted drain loses power after its iteration budget; the
+    // battery-backed WPQ and MC registers survive, so the next drain
+    // picks up exactly where the previous one stopped — the paper's
+    // argument for why repeated failures are no worse than one.
+    for (unsigned iters : drain_interrupts)
+        executeCrashDrain(sim_.now(), static_cast<int>(iters));
     executeCrashDrain(sim_.now());
     return collectResult(false);
 }
@@ -353,6 +361,12 @@ System::runUntilWordChanges(Addr addr, std::uint64_t from)
 void
 System::executeCrashDrain(Tick now, int interrupt_after)
 {
+    // A completed drain is terminal: further storm failures against the
+    // same dead machine change nothing (MCs are quiescent, faults were
+    // injected, crashFinish() ran). Without this guard a re-entry would
+    // re-run injectPostDrainFaults() and double-count media damage.
+    if (drainFinished_)
+        return;
     crashed_ = true;
     trace::emitIf<trace::Category::Power>(
         traceSink_.get(),
@@ -382,6 +396,7 @@ System::executeCrashDrain(Tick now, int interrupt_after)
     }
     // Step 6: discard unpersisted entries (rolling back any undo-logged
     // fallback overflow of a region that never became ready).
+    drainFinished_ = true;
     for (auto &mc : mcs_)
         mc->crashFinish(now);
     // PM media faults (poison, silent flips) surface against the final
@@ -611,6 +626,8 @@ System::recover(const SystemConfig &cfg,
                  sys->threads_[t]->currentRegion(), 0, 0, 0});
         }
     }
+    sys->recovered_ = true;
+    sys->failuresSurvived_ = 1;  // recoverChecked()/storms overwrite
     return sys;
 }
 
@@ -707,6 +724,9 @@ System::recoverChecked(const SystemConfig &cfg,
                            : RecoveryOutcome::Recovered;
     if (degraded)
         res.detail = "resumed from an older persisted epoch";
+    // Default lineage: one failure survived. Storm orchestrators that
+    // chain multiple crash/recover rounds overwrite the running total.
+    res.sys->setRecoveryLineage(res.outcome, 1);
     trace::emitIf<trace::Category::Power>(
         res.sys->traceSink_.get(),
         {0, trace::EventType::RecoveryVerdict, -1, 0, invalidRegion, 0,
@@ -1026,6 +1046,15 @@ System::registerStats(stats::Registry &registry) const
                    return traceSink_ ? traceSink_->emitted() : 0;
                }),
                "telemetry events accepted by the sink");
+    sg.addFunc("recoveryOutcome", fn([this] {
+                   return recovered_
+                       ? 1 + static_cast<std::uint64_t>(bootOutcome_)
+                       : 0;
+               }),
+               "0 fresh boot, 1 recovered, 2 degraded, 3 unrecoverable");
+    sg.addFunc("failuresSurvived",
+               fn([this] { return failuresSurvived_; }),
+               "power failures survived by the recovered state");
 }
 
 RunResult

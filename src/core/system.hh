@@ -169,6 +169,20 @@ class System : public cpu::MemPort
                                               unsigned drain_iters);
 
     /**
+     * Failure-storm drain: run until cycle @p fail_at, then execute the
+     * §IV-F drain protocol with power failing again after each entry of
+     * @p drain_interrupts quiescence iterations (in order), and once
+     * more to completion after the last. Battery-backed WPQ and MC
+     * protocol registers survive every interruption, so each re-entered
+     * drain resumes where the previous one stopped; crashFinish() runs
+     * exactly once no matter how the drain loop was sliced. An empty
+     * vector is exactly runWithPowerFailure(fail_at).
+     */
+    RunResult runWithFailureStorm(Tick fail_at,
+                                  const std::vector<unsigned>
+                                      &drain_interrupts);
+
+    /**
      * Run until the execution-image word at @p addr holds a value other
      * than @p from (or until completion / the cycle cap). The check sits
      * after every executed cycle, so the reported tick is the first
@@ -226,6 +240,29 @@ class System : public cpu::MemPort
 
     /** What the crash drain saw of injected faults (all-default if none). */
     const CrashReport &crashReport() const { return crashReport_; }
+
+    // ---- Recovery lineage --------------------------------------------------
+    // A system built by recover()/recoverChecked() carries how it came to
+    // be: its boot classification and how many power failures the state
+    // it resumed from has survived so far. Storm orchestrators overwrite
+    // the count as the storm unfolds; reports and --stats-json read it.
+
+    /** True iff this system was built by recover()/recoverChecked(). */
+    bool recovered() const { return recovered_; }
+
+    /** Boot classification (Recovered unless set by recoverChecked()). */
+    RecoveryOutcome bootOutcome() const { return bootOutcome_; }
+
+    /** Power failures survived by the state this system resumed from. */
+    unsigned failuresSurvived() const { return failuresSurvived_; }
+
+    /** Stamp the lineage (recoverChecked() and storm orchestrators). */
+    void setRecoveryLineage(RecoveryOutcome outcome, unsigned failures)
+    {
+        recovered_ = true;
+        bootOutcome_ = outcome;
+        failuresSurvived_ = failures;
+    }
 
     /** Fault injector (null unless cfg.faults.enabled). */
     fault::FaultInjector *faultInjector() { return faultInjector_.get(); }
@@ -317,6 +354,10 @@ class System : public cpu::MemPort
     Tick watchTick_ = 0;
 
     bool crashed_ = false;
+    bool drainFinished_ = false;  ///< crashFinish() loop already ran
+    bool recovered_ = false;
+    RecoveryOutcome bootOutcome_ = RecoveryOutcome::Recovered;
+    unsigned failuresSurvived_ = 0;
     bool warmupDone_ = false;
     Tick warmupCycles_ = 0;
     std::uint64_t staleLoads_ = 0;

@@ -30,6 +30,7 @@ modeToken(CrashMode m)
       case CrashMode::Single: return "single";
       case CrashMode::DoubleRecovery: return "dbl-rec";
       case CrashMode::DoubleDrain: return "dbl-drain";
+      case CrashMode::Storm: return "storm";
     }
     return "?";
 }
@@ -56,6 +57,8 @@ CaseSpec::toString() const
         if (mode == CrashMode::DoubleDrain)
             os << ":drain=" << drainIters;
     }
+    if (!storm.empty())
+        os << ":storm=" << storm.toString();
     if (fault)
         os << ":fault=1";
     if (std::string f = faults.toString(); !f.empty())
@@ -123,6 +126,8 @@ CaseSpec::parse(const std::string &s, CaseSpec &out, std::string &err)
                     spec.mode = CrashMode::DoubleRecovery;
                 else if (val == "dbl-drain")
                     spec.mode = CrashMode::DoubleDrain;
+                else if (val == "storm")
+                    spec.mode = CrashMode::Storm;
                 else {
                     err = "unknown mode '" + val + "'";
                     return false;
@@ -133,6 +138,13 @@ CaseSpec::parse(const std::string &s, CaseSpec &out, std::string &err)
                 spec.crashAt2 = std::stoull(val);
             } else if (key == "drain") {
                 spec.drainIters = static_cast<unsigned>(std::stoul(val));
+            } else if (key == "storm") {
+                std::string serr;
+                if (!fault::FailureSchedule::parse(val, spec.storm,
+                                                   serr)) {
+                    err = "bad storm schedule: " + serr;
+                    return false;
+                }
             } else if (key == "pds") {
                 std::string perr;
                 if (!pds::PdsSpec::parse(val, spec.pds, perr)) {
@@ -450,12 +462,31 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
     if (capture)
         vcfg.traceEnabled = true;
 
+    // Storm mode walks pt.storm with a cursor: runs of consecutive Drain
+    // events become interrupt budgets for the next crash drain, Recovery
+    // events re-enter recoverChecked on the same image, Exec events run
+    // the recovered machine into the next failure.
+    std::size_t stormIdx = 0;
+    auto takeDrains = [&pt, &stormIdx] {
+        std::vector<unsigned> iters;
+        while (stormIdx < pt.storm.events.size() &&
+               pt.storm.events[stormIdx].phase ==
+                   fault::FailurePhase::Drain) {
+            iters.push_back(static_cast<unsigned>(
+                pt.storm.events[stormIdx].at));
+            ++stormIdx;
+        }
+        return iters;
+    };
+
     core::System victim(vcfg, bc.prog, bc.threads);
     ++runs;
     core::RunResult vr;
     if (pt.mode == CrashMode::DoubleDrain) {
         vr = victim.runWithDoubleFailureDuringDrain(pt.crashAt,
                                                     pt.drainIters);
+    } else if (pt.mode == CrashMode::Storm) {
+        vr = victim.runWithFailureStorm(pt.crashAt, takeDrains());
     } else {
         vr = victim.runWithPowerFailure(pt.crashAt);
     }
@@ -511,6 +542,91 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
             break;
         }
     };
+    if (pt.mode == CrashMode::Storm) {
+        // Chain crash/recover rounds through the rest of the schedule.
+        // Invariant at the loop head: *cur is a crashed machine whose
+        // PM image is the one to recover from.
+        const core::System *cur = &victim;
+        std::unique_ptr<core::System> hold;
+        while (true) {
+            auto recres = core::System::recoverChecked(
+                rcfg, bc.prog, bc.threads, cur->pmImage(), bc.lockAddrs,
+                &cur->crashReport());
+            tallyOutcome(recres.outcome);
+            // Recovery-phase failures: power died during the recovery
+            // preamble. PM is untouched, so the retry re-validates the
+            // very same image — recoverChecked must be idempotent.
+            while (stormIdx < pt.storm.events.size() &&
+                   pt.storm.events[stormIdx].phase ==
+                       fault::FailurePhase::Recovery) {
+                ++stormIdx;
+                auto retry = core::System::recoverChecked(
+                    rcfg, bc.prog, bc.threads, cur->pmImage(),
+                    bc.lockAddrs, &cur->crashReport());
+                tallyOutcome(retry.outcome);
+                if (retry.outcome != recres.outcome) {
+                    return std::string("recovery re-entry changed "
+                                       "verdict: ") +
+                           core::recoveryOutcomeName(recres.outcome) +
+                           " -> " +
+                           core::recoveryOutcomeName(retry.outcome);
+                }
+                recres = std::move(retry);
+            }
+            if (recres.outcome ==
+                core::RecoveryOutcome::DetectedUnrecoverable) {
+                if (!hw_faults && !pt.fault)
+                    return "fault-free image classified unrecoverable: " +
+                           recres.detail;
+                return {};
+            }
+            // All uses of *cur are done: reassigning hold below may
+            // destroy the machine cur points into.
+            hold = std::move(recres.sys);
+            cur = nullptr;
+            hold->setRecoveryLineage(
+                recres.outcome, 1 + static_cast<unsigned>(stormIdx));
+            ++runs;
+            if (stormIdx < pt.storm.events.size()) {
+                // Next event is Exec: run into the next power failure
+                // (its drain eats any immediately following Drain
+                // events' interrupt budgets).
+                Tick gap = pt.storm.events[stormIdx].at;
+                unsigned firedSoFar = static_cast<unsigned>(stormIdx);
+                ++stormIdx;
+                auto er = hold->runWithFailureStorm(gap, takeDrains());
+                if (auto e = harvestOracle(*hold, "storm-exec", checks);
+                    !e.empty()) {
+                    return e;
+                }
+                if (er.completed) {
+                    // Finished before the failure landed: the tail of
+                    // the schedule is moot (this Exec and its trailing
+                    // Drain budgets never fired).
+                    tally.failuresSurvived = std::max(
+                        tally.failuresSurvived, 1 + firedSoFar);
+                    return finalCheck(*hold, "storm");
+                }
+                if (!hold->crashed())
+                    return "storm-exec neither completed nor crashed";
+                cur = hold.get();
+                continue;
+            }
+            // Schedule exhausted: the last recovered machine runs out.
+            auto fr = hold->run();
+            if (auto e = harvestOracle(*hold, "storm-final", checks);
+                !e.empty()) {
+                return e;
+            }
+            if (!fr.completed)
+                return "storm-final did not complete";
+            tally.failuresSurvived =
+                std::max(tally.failuresSurvived,
+                         1 + static_cast<unsigned>(stormIdx));
+            return finalCheck(*hold, "storm");
+        }
+    }
+
     auto recres = core::System::recoverChecked(
         rcfg, bc.prog, bc.threads, victim.pmImage(), bc.lockAddrs,
         &victim.crashReport());
@@ -558,8 +674,11 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
             }
             if (!r2.completed)
                 return "recovery-2 did not complete";
+            tally.failuresSurvived =
+                std::max(tally.failuresSurvived, 2u);
             return finalCheck(*rec2, "double-crash");
         }
+        tally.failuresSurvived = std::max(tally.failuresSurvived, 2u);
         return finalCheck(*rec, "double-crash(early)");
     }
 
@@ -568,6 +687,9 @@ checkPoint(const CaseBuild &bc, const core::System &golden,
         return e;
     if (!rr.completed)
         return "recovery did not complete";
+    tally.failuresSurvived = std::max(
+        tally.failuresSurvived,
+        pt.mode == CrashMode::DoubleDrain ? 2u : 1u);
     return finalCheck(*rec, pt.mode == CrashMode::DoubleDrain
                                 ? "drain-interrupted"
                                 : "recovered");
@@ -625,6 +747,57 @@ shrinkFailure(CaseSpec failing, Tick golden_cycles,
 {
     shrunk = false;
     CampaignResult scratch;  // shrink probes don't count verdict tallies
+
+    // Phase 0 (storm cases): minimize the failure schedule before the
+    // program — drop events one at a time while the case still fails,
+    // then halve exec gaps. A schedule that empties entirely reduces the
+    // case to a plain single failure.
+    if (failing.mode == CrashMode::Storm && !failing.storm.empty()) {
+        CaseBuild bc = buildCase(failing, true);
+        Golden g = runGolden(bc, checks, runs);
+        if (g.error.empty()) {
+            bool changed = true;
+            while (changed && !failing.storm.empty()) {
+                changed = false;
+                for (std::size_t i = 0; i < failing.storm.events.size();
+                     ++i) {
+                    CaseSpec probe = failing;
+                    probe.storm.events.erase(
+                        probe.storm.events.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+                    if (!checkPoint(bc, *g.sys, probe, checks, runs,
+                                    scratch)
+                             .empty()) {
+                        failing = probe;
+                        shrunk = true;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            changed = true;
+            while (changed) {
+                changed = false;
+                for (std::size_t i = 0; i < failing.storm.events.size();
+                     ++i) {
+                    if (failing.storm.events[i].phase !=
+                            fault::FailurePhase::Exec ||
+                        failing.storm.events[i].at <= 1) {
+                        continue;
+                    }
+                    CaseSpec probe = failing;
+                    probe.storm.events[i].at /= 2;
+                    if (!checkPoint(bc, *g.sys, probe, checks, runs,
+                                    scratch)
+                             .empty()) {
+                        failing = probe;
+                        shrunk = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
 
     // Phase 1: smaller program at the same relative position.
     for (unsigned level = failing.shrink + 1; level <= maxShrinkLevel;
@@ -750,6 +923,22 @@ runCampaign(const CaseSpec &spec, const CampaignOptions &opt)
             pt.mode = CrashMode::DoubleDrain;
             pt.crashAt = pts[i];
             pt.drainIters = static_cast<unsigned>(rng.below(3));
+            injections.push_back(pt);
+        }
+    }
+    if (opt.stormCrash) {
+        // Every second mined point also runs under a seeded storm; the
+        // schedule is a pure function of (campaign seed, point index),
+        // so a reproducer spec regenerates the exact storm via its
+        // storm= token.
+        for (std::size_t i = 0; i < pts.size(); i += 2) {
+            CaseSpec pt = spec;
+            pt.mode = CrashMode::Storm;
+            pt.crashAt = pts[i];
+            pt.storm = fault::FailureSchedule::random(
+                spec.seed * 1000003 + i,
+                2 + static_cast<unsigned>(i % 3),
+                g.cycles / 6 + 1);
             injections.push_back(pt);
         }
     }

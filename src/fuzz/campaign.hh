@@ -24,6 +24,7 @@
 
 #include "common/types.hh"
 #include "fault/fault.hh"
+#include "fault/storm.hh"
 #include "pds/pds.hh"
 #include "serve/serve.hh"
 #include "trace/events.hh"
@@ -38,6 +39,7 @@ enum class CrashMode : std::uint8_t
     Single,         ///< one failure at crashAt
     DoubleRecovery, ///< failure at crashAt, second during the recovery run
     DoubleDrain,    ///< failure at crashAt, second mid-§IV-F drain
+    Storm,          ///< failure at crashAt, then the whole storm schedule
 };
 
 /**
@@ -72,6 +74,12 @@ struct CaseSpec
     Tick crashAt = 0;
     Tick crashAt2 = 0;        ///< DoubleRecovery second failure cycle
     unsigned drainIters = 0;  ///< DoubleDrain: quiescence iters completed
+    /**
+     * Storm mode: the failure schedule executed after the initial crash
+     * at crashAt (fault/storm.hh). Rides the spec string as a `storm=`
+     * token; an empty schedule makes Storm equivalent to Single.
+     */
+    fault::FailureSchedule storm;
     /** Enable the MC's test-only early-release fault on victim runs. */
     bool fault = false;
     /**
@@ -95,6 +103,12 @@ struct CampaignOptions
     unsigned minCrashPoints = 8;
     /** Also inject double failures (recovery-run and mid-drain). */
     bool doubleCrash = true;
+    /**
+     * Also inject seeded failure storms (fuzz_crash --storm): every
+     * second mined point additionally runs under a random
+     * fault::FailureSchedule derived from the campaign seed.
+     */
+    bool stormCrash = false;
     /** Run every system with the LRPO invariant oracle compiled in. */
     bool oracles = true;
     /** Shrink a failing case before reporting it. */
@@ -122,6 +136,8 @@ struct CampaignResult
     unsigned recoveredExact = 0;
     unsigned recoveredDegraded = 0;
     unsigned detectedUnrecoverable = 0;
+    /** Max power failures survived by any single point's final state. */
+    unsigned failuresSurvived = 0;
 
     /** Victim-run event trace (replay path with captureTrace). */
     std::vector<trace::Event> victimTrace;

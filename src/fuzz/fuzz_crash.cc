@@ -3,9 +3,11 @@
  * Crash-consistency fuzzing driver.
  *
  *   fuzz_crash [--seeds N] [--base-seed S]
- *              [--mode wl|ir|pds|serve|mixed]
+ *              [--mode wl|ir|pds|serve|mixed|storm]
  *              [--crash-points N] [--jobs N] [--no-double] [--no-shrink]
- *              [--fault] [--faults] [--replay SPEC] [--trace-out FILE]
+ *              [--fault] [--faults] [--storm] [--replay SPEC]
+ *              [--trace-out FILE] [--recovery-matrix] [--matrix-step N]
+ *              [--engine event|cycle]
  *
  * Default: run N seeded campaigns (half workload-sourced, half
  * IR-sourced with --mode mixed), each injecting single and double power
@@ -34,6 +36,22 @@
  * --fault arms the MC's test-only early-release fault on victim runs so
  * the oracle/shrink/replay machinery can be demonstrated on a known bug.
  *
+ * --storm additionally runs every second mined point under a seeded
+ * fault::FailureSchedule (fault/storm.hh): the initial power failure is
+ * followed by drain interruptions, recovery re-entries and post-recovery
+ * exec failures, exercising the re-entrancy of the §IV-F drain and of
+ * recoverChecked. Composes with --mode pds/serve and --faults; failing
+ * schedules shrink event-by-event and ride replay specs as a `storm=`
+ * token. `--mode storm` is shorthand for `--mode mixed --storm`.
+ *
+ * --recovery-matrix runs the crash-at-every-cycle-of-recovery matrix
+ * (fuzz/recovery_matrix.hh) instead of seeded campaigns: every scheme x
+ * {log, hash, alloc, serve} case plus a builtin workload case is crashed
+ * once, recovered, and the recovery run is itself power-failed at every
+ * --matrix-step-th cycle (default 1 = exhaustive); each interrupted
+ * recovery must recover again and converge to the same final state.
+ * --engine selects the clock driver for matrix runs (A/B determinism).
+ *
  * --faults runs a hardware fault-injection campaign instead: each seed
  * additionally arms one fault-axis group (broadcast loss / delay+dup /
  * pinned loss / WPQ damage / checkpoint damage+stall / PM poison+silent
@@ -56,6 +74,7 @@
  * JSON with `lwsp_trace convert`.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,6 +84,8 @@
 
 #include "common/logging.hh"
 #include "fuzz/campaign.hh"
+#include "fuzz/recovery_matrix.hh"
+#include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "trace/export.hh"
 
@@ -78,10 +99,12 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--seeds N] [--base-seed S]\n"
-        "          [--mode wl|ir|pds|serve|mixed]\n"
+        "          [--mode wl|ir|pds|serve|mixed|storm]\n"
         "          [--crash-points N] [--jobs N] [--no-double]\n"
-        "          [--no-shrink] [--fault] [--faults] [--replay SPEC]\n"
-        "          [--trace-out FILE]\n",
+        "          [--no-shrink] [--fault] [--faults] [--storm]\n"
+        "          [--replay SPEC] [--trace-out FILE]\n"
+        "          [--recovery-matrix] [--matrix-step N]\n"
+        "          [--engine event|cycle]\n",
         argv0);
     return 2;
 }
@@ -139,6 +162,8 @@ main(int argc, char **argv)
     fuzz::CampaignOptions opt;
     bool fault = false;
     bool hw_faults = false;
+    bool matrix = false;
+    Tick matrix_step = 1;
 
     for (int i = 1; i < argc; ++i) {
         auto arg = [&](const char *name) {
@@ -165,6 +190,22 @@ main(int argc, char **argv)
             replay_spec = v;
         } else if (const char *v = arg("--trace-out")) {
             trace_out = v;
+        } else if (const char *v = arg("--matrix-step")) {
+            matrix_step = std::strtoull(v, nullptr, 10);
+            if (matrix_step == 0)
+                matrix_step = 1;
+        } else if (const char *v = arg("--engine")) {
+            if (std::strcmp(v, "event") == 0) {
+                harness::setDefaultSimEngine(SimEngine::Event);
+            } else if (std::strcmp(v, "cycle") == 0) {
+                harness::setDefaultSimEngine(SimEngine::Cycle);
+            } else {
+                return usage(argv[0]);
+            }
+        } else if (std::strcmp(argv[i], "--recovery-matrix") == 0) {
+            matrix = true;
+        } else if (std::strcmp(argv[i], "--storm") == 0) {
+            opt.stormCrash = true;
         } else if (std::strcmp(argv[i], "--no-double") == 0) {
             opt.doubleCrash = false;
         } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
@@ -177,12 +218,53 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
+    if (mode == "storm") {
+        // Shorthand: the mixed campaign with storm injections on.
+        mode = "mixed";
+        opt.stormCrash = true;
+    }
     if (mode != "wl" && mode != "ir" && mode != "mixed" &&
         mode != "pds" && mode != "serve")
         return usage(argv[0]);
 
     setLogQuiet(true);
     auto t0 = std::chrono::steady_clock::now();
+
+    if (matrix) {
+        auto cases = fuzz::recoveryMatrixCases();
+        fuzz::MatrixOptions mopt;
+        mopt.step = matrix_step;
+        mopt.engine = harness::defaultSimEngine();
+        std::vector<fuzz::MatrixCaseResult> mres(cases.size());
+        harness::parallelFor(jobs, cases.size(), [&](std::size_t i) {
+            mres[i] = fuzz::runRecoveryMatrixCase(cases[i], mopt);
+        });
+        unsigned mfailed = 0, mpoints = 0, mruns = 0;
+        for (const auto &r : mres) {
+            mpoints += r.pointsTried;
+            mruns += r.runsExecuted;
+            std::printf("%-18s %s  recovery=%llu cy, %u points, "
+                        "%u recovered + %u degraded\n",
+                        r.name.c_str(), r.passed ? "PASS" : "FAIL",
+                        static_cast<unsigned long long>(
+                            r.recoveryCycles),
+                        r.pointsTried, r.recoveredExact,
+                        r.recoveredDegraded);
+            if (!r.passed) {
+                ++mfailed;
+                std::printf("  %s\n", r.failure.c_str());
+            }
+        }
+        double msecs = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        std::printf("recovery-matrix: %zu cases, %u crash-in-recovery "
+                    "points (step %llu), %u runs, %u failures, %.1fs\n",
+                    cases.size(), mpoints,
+                    static_cast<unsigned long long>(matrix_step), mruns,
+                    mfailed, msecs);
+        return mfailed ? 1 : 0;
+    }
 
     if (!replay_spec.empty()) {
         fuzz::CaseSpec spec;
@@ -287,7 +369,7 @@ main(int argc, char **argv)
     });
 
     unsigned failed = 0, points = 0, runs = 0;
-    unsigned exact = 0, degraded = 0, unrec = 0;
+    unsigned exact = 0, degraded = 0, unrec = 0, survived = 0;
     std::uint64_t checks = 0;
     for (unsigned i = 0; i < seeds; ++i) {
         const auto &r = results[i];
@@ -297,6 +379,7 @@ main(int argc, char **argv)
         exact += r.recoveredExact;
         degraded += r.recoveredDegraded;
         unrec += r.detectedUnrecoverable;
+        survived = std::max(survived, r.failuresSurvived);
         if (r.passed)
             continue;
         ++failed;
@@ -314,6 +397,11 @@ main(int argc, char **argv)
                 "%llu oracle checks, %u failures, %.1fs\n",
                 seeds, points, runs,
                 static_cast<unsigned long long>(checks), failed, secs);
+    if (opt.stormCrash) {
+        std::printf("storm: up to %u consecutive power failures "
+                    "survived by a single point\n",
+                    survived);
+    }
     if (hw_faults) {
         // Every fault-armed point is classified; a completed recovery
         // that mismatched golden counts as a failure above — so with

@@ -1,0 +1,271 @@
+#include "fuzz/recovery_matrix.hh"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "compiler/compiler.hh"
+#include "core/system.hh"
+#include "fuzz/random_workload.hh"
+#include "workloads/generator.hh"
+
+namespace lwsp {
+namespace fuzz {
+
+namespace {
+
+constexpr pds::PdsScheme kSchemes[] = {
+    pds::PdsScheme::LightWsp, pds::PdsScheme::Capri, pds::PdsScheme::Ppa,
+    pds::PdsScheme::Cwsp,     pds::PdsScheme::Pmtx,
+};
+
+/** Everything one case needs to run: binary, machine, oracles. */
+struct MatrixBuild
+{
+    compiler::CompiledProgram prog;
+    core::SystemConfig cfg;
+    unsigned threads = 1;
+    std::vector<Addr> lockAddrs;
+
+    bool isPds = false;      ///< structure oracle vs golden-image diff
+    pds::PdsSpec pdsSpec;
+    std::vector<pds::PdsOp> pdsOps;
+    Addr heapLo = 0, heapHi = 0;  ///< builtin golden-diff heap range
+};
+
+MatrixBuild
+build(const MatrixCase &c, const MatrixOptions &opt)
+{
+    MatrixBuild b;
+    if (c.source == MatrixCase::Source::Builtin) {
+        // A multi-threaded workload program under plain gated LightWSP —
+        // the only row with locks and inter-thread interleaving. Shrink
+        // level 1 keeps the recovered run short enough for per-cycle
+        // crashes.
+        FuzzProgram src = randomWorkloadProgram(c.wlSeed, /*shrink=*/1);
+        b.cfg.scheme = core::Scheme::LightWsp;
+        b.cfg.numMcs = 2;
+        b.cfg.mc.wpqEntries = 16;
+        b.cfg.numCores = std::min(4u, src.threads);
+        b.cfg.maxCycles = 30'000'000;
+        b.cfg.applySchemeDefaults();
+        b.cfg.engine = opt.engine;
+        compiler::CompilerConfig ccfg;
+        ccfg.storeThreshold = 8;
+        compiler::LightWspCompiler comp(ccfg);
+        b.prog = comp.compile(std::move(src.module));
+        b.threads = src.threads;
+        b.lockAddrs = src.lockAddrs;
+        b.heapLo = workloads::Workload::heapBase;
+        b.heapHi = b.heapLo +
+                   static_cast<Addr>(src.threads) * src.footprintBytes;
+        return b;
+    }
+
+    pds::PdsSpec ps;
+    std::vector<pds::PdsOp> ops;
+    if (c.source == MatrixCase::Source::Serve) {
+        serve::ServeWorkload wl = serve::buildWorkload(c.serve);
+        ps = wl.pdsSpec;
+        ops = std::move(wl.ops);
+        b.prog = pds::preparePdsProgram(ps, ops, c.scheme,
+                                        pds::PdsRunMode::Recovery);
+    } else {
+        ps = c.pds;
+        b.prog = pds::preparePdsProgram(ps, c.scheme,
+                                        pds::PdsRunMode::Recovery);
+    }
+    b.cfg = pds::makePdsConfig(c.scheme, pds::PdsRunMode::Recovery);
+    // Tight hang backstop: matrix cases are tiny (tens of ops), so a run
+    // that needs anywhere near this many cycles is live-locked.
+    b.cfg.maxCycles = 30'000'000;
+    b.cfg.engine = opt.engine;
+    b.threads = 1;
+    b.isPds = true;
+    b.pdsSpec = ps;
+    b.pdsOps = std::move(ops);
+    return b;
+}
+
+} // namespace
+
+std::vector<MatrixCase>
+recoveryMatrixCases()
+{
+    std::vector<MatrixCase> cases;
+    constexpr pds::Kind kinds[] = {pds::Kind::Log, pds::Kind::Hash,
+                                   pds::Kind::Alloc};
+    for (auto k : kinds) {
+        for (auto s : kSchemes) {
+            MatrixCase c;
+            c.source = MatrixCase::Source::Pds;
+            c.scheme = s;
+            c.pds.kind = k;
+            c.pds.sizeClass = 0;
+            c.pds.numOps = 24;
+            c.pds.mix = 0;
+            c.pds.seed = 5;
+            // Small transactions put several commit edges and undo
+            // replays inside the crash window (pmtx rows only).
+            c.pds.opsPerTx = 2;
+            c.name = std::string(pds::kindName(k)) + "/" +
+                     pds::pdsSchemeName(s);
+            cases.push_back(c);
+        }
+    }
+    for (auto s : kSchemes) {
+        MatrixCase c;
+        c.source = MatrixCase::Source::Serve;
+        c.scheme = s;
+        c.serve.profile = serve::Profile::Varnish;
+        c.serve.sizeClass = 0;
+        c.serve.numRequests = 16;
+        c.serve.seed = 3;
+        c.serve.opsPerTx = 2;
+        c.name = std::string("serve/") + pds::pdsSchemeName(s);
+        cases.push_back(c);
+    }
+    MatrixCase c;
+    c.source = MatrixCase::Source::Builtin;
+    c.wlSeed = 2;
+    c.name = "builtin/lightwsp";
+    cases.push_back(c);
+    return cases;
+}
+
+MatrixCaseResult
+runRecoveryMatrixCase(const MatrixCase &c, const MatrixOptions &opt)
+{
+    MatrixCaseResult res;
+    res.name = c.name;
+    auto fail = [&res](std::string why) {
+        res.passed = false;
+        res.failure = std::move(why) + " [" + res.name + "]";
+        return res;
+    };
+
+    MatrixBuild b = build(c, opt);
+
+    auto finalCheck = [&b](const core::System &sys,
+                           const core::System &golden,
+                           const char *what) -> std::string {
+        if (b.isPds) {
+            auto msg = b.pdsOps.empty()
+                           ? pds::checkSemantics(b.pdsSpec,
+                                                 sys.execImage())
+                           : pds::checkSemantics(b.pdsSpec, b.pdsOps,
+                                                 sys.execImage());
+            if (!msg.empty())
+                return std::string(what) + " " + msg;
+            return {};
+        }
+        auto heap =
+            sys.pmImage().diffInRange(golden.pmImage(), b.heapLo,
+                                      b.heapHi);
+        if (!heap.empty()) {
+            std::ostringstream os;
+            os << what << ": heap differs from golden at 0x" << std::hex
+               << heap[0] << " (" << std::dec << heap.size()
+               << " words)";
+            return os.str();
+        }
+        Addr sh = workloads::Workload::sharedBase;
+        auto shared =
+            sys.pmImage().diffInRange(golden.pmImage(), sh, sh + 4096);
+        if (!shared.empty()) {
+            std::ostringstream os;
+            os << what << ": shared page differs from golden at 0x"
+               << std::hex << shared[0];
+            return os.str();
+        }
+        return {};
+    };
+
+    core::System golden(b.cfg, b.prog, b.threads);
+    ++res.runsExecuted;
+    auto gr = golden.run();
+    if (!gr.completed)
+        return fail("golden run did not complete");
+    res.goldenCycles = gr.cycles;
+    if (auto e = finalCheck(golden, golden, "golden"); !e.empty())
+        return fail(e);
+
+    core::System victim(b.cfg, b.prog, b.threads);
+    ++res.runsExecuted;
+    auto vr = victim.runWithPowerFailure(gr.cycles * 6 / 10);
+    if (vr.completed)
+        return fail("victim completed before the crash point");
+    if (!victim.crashed())
+        return fail("victim neither completed nor crashed");
+
+    auto recoverFrom =
+        [&](const core::System &crashed,
+            std::unique_ptr<core::System> &out) -> std::string {
+        auto rr = core::System::recoverChecked(
+            b.cfg, b.prog, b.threads, crashed.pmImage(), b.lockAddrs,
+            &crashed.crashReport());
+        if (rr.outcome == core::RecoveryOutcome::DetectedUnrecoverable)
+            return "fault-free image classified unrecoverable: " +
+                   rr.detail;
+        if (rr.outcome == core::RecoveryOutcome::Recovered)
+            ++res.recoveredExact;
+        else
+            ++res.recoveredDegraded;
+        out = std::move(rr.sys);
+        return {};
+    };
+
+    // Reference recovered run: its crash-free length R bounds the sweep.
+    std::unique_ptr<core::System> ref;
+    if (auto e = recoverFrom(victim, ref); !e.empty())
+        return fail(e);
+    ++res.runsExecuted;
+    auto refr = ref->run();
+    if (!refr.completed)
+        return fail("recovered run did not complete (possible hang)");
+    res.recoveryCycles = refr.cycles;
+    if (auto e = finalCheck(*ref, golden, "recovered"); !e.empty())
+        return fail(e);
+
+    // Crash the recovery run at every stride-th cycle of [0, R).
+    Tick step = opt.step ? opt.step : 1;
+    for (Tick t = 0; t < res.recoveryCycles; t += step) {
+        ++res.pointsTried;
+        std::unique_ptr<core::System> rec;
+        if (auto e = recoverFrom(victim, rec); !e.empty())
+            return fail(e + " at t=" + std::to_string(t));
+        ++res.runsExecuted;
+        auto rr = rec->runWithPowerFailure(t);
+        if (rr.completed) {
+            // Engine fast-forward can land the completion check past t;
+            // the run is clean either way.
+            if (auto e = finalCheck(*rec, golden, "recovery(uncrashed)");
+                !e.empty()) {
+                return fail(e + " at t=" + std::to_string(t));
+            }
+            continue;
+        }
+        if (!rec->crashed())
+            return fail("recovery run neither completed nor crashed "
+                        "at t=" +
+                        std::to_string(t));
+        std::unique_ptr<core::System> rec2;
+        if (auto e = recoverFrom(*rec, rec2); !e.empty())
+            return fail(e + " at t=" + std::to_string(t));
+        ++res.runsExecuted;
+        auto r2 = rec2->run();
+        if (!r2.completed)
+            return fail("second recovery did not complete (possible "
+                        "hang) at t=" +
+                        std::to_string(t));
+        if (auto e = finalCheck(*rec2, golden, "second recovery");
+            !e.empty()) {
+            return fail(e + " (recovery crashed at t=" +
+                        std::to_string(t) + ")");
+        }
+    }
+    return res;
+}
+
+} // namespace fuzz
+} // namespace lwsp

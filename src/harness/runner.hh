@@ -64,6 +64,14 @@ struct RunOutcome
     core::RunResult result;
     compiler::CompileStats compileStats;
     unsigned threads = 1;
+
+    // Recovery lineage (run-report schema v1.2). Fresh-boot runs — all
+    // of the sensitivity sweeps — leave recovered false; crash/recover
+    // drivers (fig22, lwsp_cli crash) fill these from System's lineage.
+    bool recovered = false;
+    core::RecoveryOutcome recoveryOutcome =
+        core::RecoveryOutcome::Recovered;
+    unsigned failuresSurvived = 0;
 };
 
 /** Build the SystemConfig for a (profile, spec) pair. */

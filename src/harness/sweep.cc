@@ -175,9 +175,10 @@ writeRunReports(const std::string &path, const std::string &bench,
         return;
     }
     // v1.1: adds the "cycles_percentiles" footer (stats::Percentiles
-    // over per-run cycle counts). Fields are additive; v1 consumers
-    // that ignore unknown keys keep working.
-    os << "{\"schema\":\"lwsp-run-report-v1.1\",\"bench\":\"" << bench
+    // over per-run cycle counts). v1.2: adds per-run "recovery_outcome"
+    // ("none" for fresh boots) and "failures_survived". Fields are
+    // additive; v1 consumers that ignore unknown keys keep working.
+    os << "{\"schema\":\"lwsp-run-report-v1.2\",\"bench\":\"" << bench
        << "\",\"jobs\":" << stats.jobs << ",\"wall_seconds\":"
        << stats.wallSeconds << ",\"runs\":[";
     bool first = true;
@@ -219,7 +220,13 @@ writeRunReports(const std::string &path, const std::string &bench,
            << ",\"max_wpq_occupancy\":" << r.maxWpqOccupancy
            << ",\"regions_committed\":" << r.regionsCommitted
            << ",\"avg_region_insts\":" << r.avgRegionInsts
-           << ",\"avg_region_stores\":" << r.avgRegionStores << "}}";
+           << ",\"avg_region_stores\":" << r.avgRegionStores
+           << "},\"recovery_outcome\":\""
+           << (rec.outcome.recovered
+                   ? core::recoveryOutcomeName(rec.outcome.recoveryOutcome)
+                   : "none")
+           << "\",\"failures_survived\":"
+           << rec.outcome.failuresSurvived << "}";
         first = false;
     }
     stats::Percentiles cyc;

@@ -135,9 +135,11 @@ void writeSweepJson(const std::string &path, const std::string &bench,
  * Versioned machine-readable run report: one record per distinct
  * simulation point with its canonical spec key, resolved configuration
  * axes, compile stats and the full RunResult, plus a cross-run
- * cycles-percentiles footer. Schema identifier "lwsp-run-report-v1.1"
- * (minor bump: additive fields only); consumers must reject unknown
- * major versions.
+ * cycles-percentiles footer. Schema identifier "lwsp-run-report-v1.2"
+ * (minor bumps are additive: v1.1 added the percentiles footer, v1.2
+ * the per-run recovery lineage — "recovery_outcome", "none" on fresh
+ * boots, and "failures_survived"); consumers must reject unknown major
+ * versions.
  */
 void writeRunReports(const std::string &path, const std::string &bench,
                      const std::vector<RunRecord> &records,

@@ -416,6 +416,10 @@ MemController::serveLoadMiss(Addr addr, Tick now)
 bool
 MemController::crashStep(Tick now)
 {
+    // A finished drain is terminal for this power cycle: a re-entered
+    // drain loop (failure storm) sees an immediately quiescent MC.
+    if (crashFinished_)
+        return false;
     // Injected MC stall: the controller makes no progress this
     // quiescence iteration but still reports activity, so the drain loop
     // keeps iterating and completes once the stall budget is absorbed.
@@ -465,6 +469,11 @@ MemController::pruneCommittedShadows()
 void
 MemController::crashFinish(Tick now)
 {
+    // Idempotent: shadow resolution and WPQ truncation happen exactly
+    // once per power cycle even if an interrupted drain is re-entered.
+    if (crashFinished_)
+        return;
+    crashFinished_ = true;
     // Resolve every fallback-tainted address to the newest write of a
     // committed region — the crash drain advanced the cursor past the
     // committed prefix, so regions >= drainCursor_ are unpersisted and

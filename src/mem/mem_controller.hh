@@ -147,11 +147,24 @@ class MemController : public Clocked, public McEndpoint
     /**
      * One quiescence iteration of the recovery drain (paper §IV-F steps
      * 2-5): flush every ready region. @return true if progress was made.
+     *
+     * Re-entrant: the drain cursor and WPQ are battery-backed, so a
+     * power failure between iterations simply resumes here — already-
+     * drained regions are skipped (the cursor only advances) and a call
+     * after crashFinish() reports no progress.
      */
     bool crashStep(Tick now);
 
-    /** Step 6 + undo restore: discard unpersisted entries. */
+    /**
+     * Step 6 + undo restore: discard unpersisted entries. Idempotent —
+     * a second call is a no-op, so a failure storm that re-runs the
+     * drain epilogue cannot roll PM back twice or double-count with the
+     * oracle.
+     */
     void crashFinish(Tick now = 0);
+
+    /** True once crashFinish() has run (the drain is fully over). */
+    bool crashFinished() const { return crashFinished_; }
 
     // ---- Fault handling (crash-time ECC damage, §IV-F hardening) ---------
     /**
@@ -350,6 +363,7 @@ class MemController : public Clocked, public McEndpoint
     bool detectedUnrecoverable_ = false;
     unsigned stallIters_ = 0;
     unsigned stallsAbsorbed_ = 0;
+    bool crashFinished_ = false;  ///< crashFinish() already ran
 
     FlushTraceHook traceHook_;
     stats::Distribution wpqOccupancy_;

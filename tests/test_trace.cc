@@ -640,11 +640,15 @@ TEST(TraceReport, RunReportJsonIsValidAndVersioned)
 
     JsonChecker checker(json);
     EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
-    EXPECT_NE(json.find("\"schema\":\"lwsp-run-report-v1.1\""),
+    EXPECT_NE(json.find("\"schema\":\"lwsp-run-report-v1.2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"workload\":\"rb\""), std::string::npos);
     EXPECT_NE(json.find("\"cycles\""), std::string::npos);
     EXPECT_NE(json.find("\"compile\""), std::string::npos);
     EXPECT_NE(json.find("\"cycles_percentiles\""), std::string::npos);
     EXPECT_NE(json.find("\"p999\""), std::string::npos);
+    // v1.2: recovery lineage on every record ("none" for fresh boots).
+    EXPECT_NE(json.find("\"recovery_outcome\":\"none\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"failures_survived\":0"), std::string::npos);
 }
