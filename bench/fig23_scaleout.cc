@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Figure 23 (extension): LRPO control-plane scale-out — boundary-ACK
+ * latency, WPQ occupancy, fabric traffic and retry counts as the
+ * machine grows from the paper's 2 iMCs to sharded 4/8/16/64-MC
+ * topologies, flat fan-out vs radix-4 aggregation tree.
+ *
+ * Grid (quick mode runs the identical grid, so CI can byte-compare the
+ * CSV against the committed reference): {flat, tree4} x {4, 8, 16, 64}
+ * MCs x two workload rows — the fig16 8-thread point on the `rb`
+ * profile, and a fig21-style open-loop service tape lowered onto the
+ * pds hash table — x {fault-free, 10% per-link
+ * broadcast loss}. Lossy rows run the router's ack/retry protocol at
+ * scale; at 64 MCs they cross the word boundary that broke the old
+ * single-uint64_t delivery mask (see common/bitset.hh).
+ *
+ * Reported per row: end-to-end cycles, region boundaries, the mean/max
+ * boundary-arrival-to-full-ACK latency sampled at every MC, peak WPQ
+ * occupancy, total control messages on the fabric (the O(MCs^2) flat vs
+ * O(MCs) tree ablation) and router retry rounds. Rows are independent
+ * simulations with per-row deterministic fault seeds and output-indexed
+ * result slots, so the CSV is byte-identical at any --jobs count and
+ * either --engine.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "bench_util.hh"
+#include "core/system.hh"
+#include "pds/pds.hh"
+#include "serve/serve.hh"
+
+using namespace lwsp;
+
+namespace {
+
+constexpr unsigned kMcCounts[] = {4, 8, 16, 64};
+constexpr unsigned kWlThreads[] = {8};
+
+struct Point
+{
+    std::string workload;     ///< "rb/t8", "serve/varnish"
+    noc::TopologyConfig topo;
+    unsigned mcs = 2;
+    bool lossy = false;
+    unsigned threads = 0;     ///< workload rows; 0 = serve row
+    core::RunResult res;
+};
+
+fault::FaultConfig
+faultsFor(const Point &p, std::size_t row)
+{
+    fault::FaultConfig fc;
+    if (!p.lossy)
+        return fc;
+    fc.enabled = true;
+    fc.seed = 0xf23u + 7919u * static_cast<std::uint64_t>(row);
+    fc.bcastLossPm = 100;
+    return fc;
+}
+
+/** One fig16-style thread point on the `rb` profile. */
+core::RunResult
+runWorkloadRow(const Point &p, std::size_t row)
+{
+    const auto &profile = workloads::profileByName("rb");
+    harness::RunSpec spec;
+    spec.workload = "rb";
+    spec.scheme = core::Scheme::LightWsp;
+    spec.threads = p.threads;
+    spec.numMcs = p.mcs;
+    spec.topology = p.topo;
+
+    workloads::Workload w = workloads::generate(profile);
+    core::SystemConfig cfg = harness::makeConfig(profile, spec);
+    cfg.warmupInsts =
+        w.estimatedInstsPerThread * p.threads * 35 / 100;
+    cfg.faults = faultsFor(p, row);
+    compiler::CompiledProgram prog =
+        harness::prepareProgram(std::move(w), spec);
+
+    core::System sys(cfg, prog, p.threads);
+    auto res = sys.run();
+    LWSP_ASSERT(res.completed, "fig23 workload row did not complete: ",
+                p.workload, " mcs=", p.mcs, " ", p.topo.toString());
+    return res;
+}
+
+/** One fig21-style service tape on the pds hash table. */
+core::RunResult
+runServeRow(const Point &p, std::size_t row)
+{
+    serve::ServeSpec spec;
+    spec.profile = serve::Profile::Varnish;
+    spec.sizeClass = 1;
+    spec.numRequests = 64;
+    spec.seed = 11;
+    auto wl = serve::buildWorkload(spec);
+
+    auto cfg = pds::makePdsConfig(pds::PdsScheme::LightWsp,
+                                  pds::PdsRunMode::Perf);
+    cfg.engine = harness::defaultSimEngine(); // honour --engine A/B
+    cfg.numMcs = p.mcs;
+    cfg.topology = p.topo;
+    cfg.faults = faultsFor(p, row);
+    auto prog = pds::preparePdsProgram(wl.pdsSpec, wl.ops,
+                                       pds::PdsScheme::LightWsp,
+                                       pds::PdsRunMode::Perf);
+
+    core::System sys(cfg, prog, 1);
+    auto res = sys.run();
+    LWSP_ASSERT(res.completed, "fig23 serve row did not complete: mcs=",
+                p.mcs, " ", p.topo.toString());
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv);
+
+    noc::TopologyConfig flat;
+    noc::TopologyConfig tree4;
+    tree4.kind = noc::TopologyConfig::Kind::Tree;
+    tree4.radix = 4;
+
+    std::vector<Point> points;
+    for (const auto &topo : {flat, tree4}) {
+        for (unsigned mcs : kMcCounts) {
+            for (bool lossy : {false, true}) {
+                for (unsigned t : kWlThreads) {
+                    Point p;
+                    p.workload = "rb/t" + std::to_string(t);
+                    p.topo = topo;
+                    p.mcs = mcs;
+                    p.lossy = lossy;
+                    p.threads = t;
+                    points.push_back(p);
+                }
+                Point p;
+                p.workload = "serve/varnish";
+                p.topo = topo;
+                p.mcs = mcs;
+                p.lossy = lossy;
+                points.push_back(p);
+            }
+        }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    harness::parallelFor(args.jobs, points.size(), [&](std::size_t i) {
+        Point &p = points[i];
+        p.res = p.threads ? runWorkloadRow(p, i) : runServeRow(p, i);
+    });
+
+    harness::SweepStats stats;
+    stats.jobs = args.jobs ? args.jobs
+                           : std::max(1u,
+                                      std::thread::hardware_concurrency());
+    stats.points = points.size();
+    stats.wallSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    for (const auto &p : points)
+        stats.simulatedCycles += p.res.cycles;
+
+    harness::ResultTable table(
+        "Fig 23: control-plane scale-out — boundary-ACK latency, WPQ "
+        "occupancy, fabric traffic and retries at 4-64 MCs, flat fan-out "
+        "vs radix-4 aggregation tree, fault-free and under 10% per-link "
+        "broadcast loss");
+    // Table columns must be strictly positive (per-suite geomeans);
+    // zero-able metrics (retries, latency in fault-free rows) live in
+    // the CSV only.
+    for (const char *c : {"cycles", "boundaries", "noc_msgs"})
+        table.addColumn(c);
+
+    // The leading `name` column is the unique per-row key bench_all.sh's
+    // row-subset checker greps on; keep it first.
+    std::ostringstream csvBody;
+    csvBody << "name,topology,mcs,workload,fault,cycles,boundaries,"
+               "bcast_lat_avg,bcast_lat_max,max_wpq_occupancy,"
+               "noc_messages,bcast_retries\n";
+    for (const Point &p : points) {
+        std::string name = p.topo.toString() + "/" +
+                           std::to_string(p.mcs) + "/" + p.workload +
+                           (p.lossy ? "/loss100" : "");
+        table.addRow(name, p.topo.toString(),
+                     {static_cast<double>(p.res.cycles),
+                      static_cast<double>(p.res.boundaries),
+                      static_cast<double>(p.res.nocMessages)});
+        csvBody << name << ',' << p.topo.toString() << ',' << p.mcs
+                << ',' << p.workload << ','
+                << (p.lossy ? "loss100" : "none") << ',' << p.res.cycles
+                << ',' << p.res.boundaries << ','
+                << std::setprecision(10) << p.res.bcastLatencyAvg << ','
+                << p.res.bcastLatencyMax << ','
+                << p.res.maxWpqOccupancy << ',' << p.res.nocMessages
+                << ',' << p.res.bcastRetries << '\n';
+    }
+
+    table.print(std::cout);
+    if (!args.csvPath.empty()) {
+        std::ofstream csv(args.csvPath);
+        csv << csvBody.str();
+        std::cout << "csv written to " << args.csvPath << '\n';
+    }
+    if (!args.sweepJsonPath.empty())
+        harness::writeSweepJson(args.sweepJsonPath, args.benchName, stats);
+    if (!args.reportPath.empty()) {
+        std::vector<harness::RunRecord> recs;
+        for (const Point &p : points) {
+            harness::RunRecord rec;
+            rec.spec.workload = p.topo.toString() + "/" +
+                                std::to_string(p.mcs) + "/" + p.workload;
+            rec.spec.numMcs = p.mcs;
+            rec.spec.topology = p.topo;
+            rec.outcome.threads = p.threads ? p.threads : 1;
+            rec.outcome.result = p.res;
+            recs.push_back(std::move(rec));
+        }
+        harness::writeRunReports(args.reportPath, args.benchName, recs,
+                                 stats);
+        std::cout << "run report written to " << args.reportPath << '\n';
+    }
+    return 0;
+}

@@ -104,6 +104,7 @@ fig19_pds
 fig20_recovery
 fig21_service
 fig22_availability
+fig23_scaleout
 tab02_conflict_rate
 tab_vg3_region_stats
 abl_commit_pipeline

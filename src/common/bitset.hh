@@ -1,0 +1,150 @@
+/**
+ * @file
+ * A size-checked dynamic bitset.
+ *
+ * Replaces the raw `uint64_t` + `1ull << i` masks that used to track
+ * per-MC broadcast delivery and ACK coverage: shifting by >= 64 is
+ * undefined behaviour, and the old `size >= 64 ? ~0ull` escape hatch
+ * silently collapsed any fabric wider than 64 endpoints onto the same
+ * 64 bits (delivery to MC 64+k aliased MC k). Every accessor here
+ * bounds-checks its index with LWSP_ASSERT, so an out-of-range endpoint
+ * id is a loud simulator panic instead of UB.
+ */
+
+#ifndef LWSP_COMMON_BITSET_HH
+#define LWSP_COMMON_BITSET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lwsp {
+
+class DynBitset
+{
+  public:
+    DynBitset() = default;
+
+    explicit DynBitset(std::size_t size)
+        : size_(size), words_((size + 63) / 64, 0)
+    {
+    }
+
+    std::size_t size() const { return size_; }
+
+    /** Re-size to @p size bits, clearing all bits. */
+    void
+    reset(std::size_t size)
+    {
+        size_ = size;
+        words_.assign((size + 63) / 64, 0);
+    }
+
+    void
+    set(std::size_t i)
+    {
+        LWSP_ASSERT(i < size_, "DynBitset::set out of range");
+        words_[i / 64] |= (std::uint64_t{1} << (i % 64));
+    }
+
+    void
+    clear(std::size_t i)
+    {
+        LWSP_ASSERT(i < size_, "DynBitset::clear out of range");
+        words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+    }
+
+    bool
+    test(std::size_t i) const
+    {
+        LWSP_ASSERT(i < size_, "DynBitset::test out of range");
+        return (words_[i / 64] >> (i % 64)) & 1;
+    }
+
+    /** Set every bit in [0, size). */
+    void
+    setAll()
+    {
+        if (size_ == 0)
+            return;
+        for (auto &w : words_)
+            w = ~std::uint64_t{0};
+        maskTail();
+    }
+
+    bool
+    any() const
+    {
+        for (auto w : words_) {
+            if (w != 0)
+                return true;
+        }
+        return false;
+    }
+
+    bool none() const { return !any(); }
+
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words_) {
+            while (w != 0) {
+                w &= (w - 1);
+                ++n;
+            }
+        }
+        return n;
+    }
+
+    /** True when every bit set in @p other is also set here. */
+    bool
+    containsAll(const DynBitset &other) const
+    {
+        LWSP_ASSERT(other.size_ == size_, "DynBitset size mismatch");
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            if ((other.words_[w] & ~words_[w]) != 0)
+                return false;
+        }
+        return true;
+    }
+
+    /** True when some bit is set in both. */
+    bool
+    intersects(const DynBitset &other) const
+    {
+        LWSP_ASSERT(other.size_ == size_, "DynBitset size mismatch");
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            if ((other.words_[w] & words_[w]) != 0)
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    operator==(const DynBitset &other) const
+    {
+        return size_ == other.size_ && words_ == other.words_;
+    }
+
+    bool operator!=(const DynBitset &other) const { return !(*this == other); }
+
+  private:
+    /** Clear the unused high bits of the last word after setAll(). */
+    void
+    maskTail()
+    {
+        std::size_t used = size_ % 64;
+        if (used != 0)
+            words_.back() &= (std::uint64_t{1} << used) - 1;
+    }
+
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace lwsp
+
+#endif // LWSP_COMMON_BITSET_HH

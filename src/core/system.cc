@@ -34,13 +34,31 @@ recoveryOutcomeName(RecoveryOutcome o)
     return "<bad>";
 }
 
+namespace {
+
+/** Reject numMcs == 0 before the Noc member is built (it asserts). */
+unsigned
+checkedNumMcs(unsigned num_mcs)
+{
+    if (num_mcs < 1)
+        fatal("SystemConfig::numMcs must be >= 1 (got 0): every address "
+              "needs an owning memory controller");
+    return num_mcs;
+}
+
+} // namespace
+
 System::System(const SystemConfig &cfg,
                const compiler::CompiledProgram &program,
                unsigned num_threads)
     : cfg_(cfg), program_(program),
-      noc_(cfg.numMcs, cfg.nocHopLatency)
+      noc_(checkedNumMcs(cfg.numMcs), cfg.nocHopLatency, cfg.topology)
 {
     LWSP_ASSERT(num_threads >= 1, "need at least one thread");
+    // Keep the MC-side view of the fabric in lockstep with the Noc even
+    // when the caller skipped applySchemeDefaults().
+    cfg_.mc.numMcs = cfg_.numMcs;
+    cfg_.mc.treeAcks = cfg_.topology.isTree() && cfg_.numMcs > 1;
 
     // Initial data into both images; PC slots start at the no-site
     // sentinel so recovery can tell "never persisted a boundary" from
@@ -56,7 +74,8 @@ System::System(const SystemConfig &cfg,
 
     if (cfg_.oraclesEnabled) {
         oracle_ = std::make_unique<mem::LrpoOracle>(cfg_.numMcs,
-                                                    cfg_.mc.gatingEnabled);
+                                                    cfg_.mc.gatingEnabled,
+                                                    cfg_.mc.treeAcks);
         cfg_.mc.oracle = oracle_.get();
     }
 
@@ -134,7 +153,17 @@ System::System(const SystemConfig &cfg,
 McId
 System::mcForAddr(Addr addr) const
 {
-    return static_cast<McId>((addr / cachelineBytes) % cfg_.numMcs);
+    // numMcs >= 1 is enforced at construction, so the modulo is safe and
+    // total: every address maps to exactly one controller for ANY MC
+    // count, including non-powers-of-two (asserted over numMcs in
+    // {3, 5, 6, 64} by test_topo's seeded cross-check). Non-power-of-two
+    // counts simply shard lines unequally-but-completely under
+    // LineInterleave; HashShard decorrelates strided streams from the
+    // controller index first.
+    Addr line = addr / cachelineBytes;
+    if (cfg_.shardPolicy == SystemConfig::ShardPolicy::HashShard)
+        line = (line * 0x9E3779B97F4A7C15ull) >> 17;
+    return static_cast<McId>(line % cfg_.numMcs);
 }
 
 bool
@@ -1087,6 +1116,8 @@ System::collectResult(bool completed)
     }
     r.l1Misses += staleExtraMisses_;
     r.staleLoads = staleLoads_;
+    double bcast_sum = 0;
+    std::uint64_t bcast_count = 0;
     for (const auto &mc : mcs_) {
         r.wpqLoadHits += mc->wpqLoadHits();
         r.wpqFlushedEntries += mc->flushedEntries();
@@ -1096,7 +1127,15 @@ System::collectResult(bool completed)
             std::max(r.maxWpqOccupancy, mc->maxWpqOccupancy());
         r.regionsCommitted =
             std::max(r.regionsCommitted, mc->regionsCommitted());
+        const auto &bl = mc->bcastLatency().summary();
+        bcast_sum += bl.sum();
+        bcast_count += bl.count();
+        r.bcastLatencyMax = std::max(r.bcastLatencyMax, bl.max());
     }
+    r.nocMessages = noc_.messagesSent();
+    r.bcastRetries = noc_.bcastRetries();
+    if (bcast_count > 0)
+        r.bcastLatencyAvg = bcast_sum / static_cast<double>(bcast_count);
     r.ipc = r.cycles ? static_cast<double>(r.instsRetired) / r.cycles : 0;
     if (region_count > 0) {
         r.avgRegionInsts = region_insts_sum / region_count;

@@ -111,6 +111,12 @@ struct RunResult
     std::size_t maxWpqOccupancy = 0;
     std::uint64_t regionsCommitted = 0;
 
+    // Control-plane behaviour (fig23 scale-out inputs).
+    std::uint64_t nocMessages = 0;      ///< control messages on the fabric
+    std::uint64_t bcastRetries = 0;     ///< router retry rounds (faults)
+    double bcastLatencyAvg = 0.0;       ///< boundary arrival -> full ACK
+    double bcastLatencyMax = 0.0;       ///< worst region's ACK round
+
     double avgRegionInsts = 0.0;
     double avgRegionStores = 0.0;
 

@@ -19,6 +19,7 @@
 #include "fault/fault.hh"
 #include "mem/cache.hh"
 #include "mem/mem_controller.hh"
+#include "noc/topology.hh"
 #include "sim/simulator.hh"
 #include "trace/events.hh"
 
@@ -65,6 +66,27 @@ struct SystemConfig
     mem::McConfig mc;                         ///< WPQ/PM/DRAM-cache knobs
     unsigned numMcs = 2;
     Tick nocHopLatency = 20;                  ///< 10 ns MC<->MC / router hop
+
+    /**
+     * Control-plane fabric: flat router fan-out + all-to-all ACKs (the
+     * paper's 2-iMC machine, default) or a radix-r aggregation tree
+     * whose per-region message count is O(MCs) instead of O(MCs^2) —
+     * see noc/topology.hh. Ignored (degrades to flat) with one MC.
+     */
+    noc::TopologyConfig topology;
+
+    /**
+     * How physical lines shard across MCs. LineInterleave (default):
+     * consecutive cachelines round-robin across controllers —
+     * `(addr / 64) % numMcs`, valid for any MC count including
+     * non-powers-of-two (the modulo simply yields unequal-but-complete
+     * coverage when the address stream is structured). HashShard:
+     * a Fibonacci multiply-shift hash of the line number decorrelates
+     * strided access patterns from the controller index at
+     * non-power-of-two counts.
+     */
+    enum class ShardPolicy : std::uint8_t { LineInterleave, HashShard };
+    ShardPolicy shardPolicy = ShardPolicy::LineInterleave;
 
     mem::VictimPolicy victimPolicy = mem::VictimPolicy::Full;
 
@@ -158,6 +180,7 @@ struct SystemConfig
     applySchemeDefaults()
     {
         mc.numMcs = numMcs;
+        mc.treeAcks = topology.isTree() && numMcs > 1;
         core.persistPathEnabled = schemeHasPersistPath(scheme);
         switch (scheme) {
           case Scheme::Baseline:

@@ -9,9 +9,12 @@
  * a `FaultInjector` (created only when `enabled`) rolls seeded,
  * reproducible outcomes for them:
  *
- *  - NoC boundary-broadcast loss / delay / duplication, per per-MC
- *    delivery attempt (probabilistic, in permille) or pinned to the
- *    first broadcast at/after a given tick;
+ *  - NoC boundary-broadcast loss / delay / duplication, rolled per
+ *    delivery attempt on each fabric link (probabilistic, in permille)
+ *    or pinned to the first broadcast at/after a given tick. On the
+ *    flat fabric a link is one router->MC path; on a tree fabric the
+ *    roll happens per tree link, so one bad high link near the root
+ *    loses the whole subtree below it at once (noc/noc.hh);
  *  - WPQ entry damage at crash time: ECC-detected bit flips and torn
  *    (partial-granule) writes, optionally pinned to a checkpoint-area
  *    entry;

@@ -63,6 +63,10 @@ CaseSpec::toString() const
         os << ":fault=1";
     if (std::string f = faults.toString(); !f.empty())
         os << ":faults=" << f;
+    if (mcs != 0)
+        os << ":mcs=" << mcs;
+    if (topo.isTree())
+        os << ":topo=" << topo.toString();
     return os.str();
 }
 
@@ -165,6 +169,18 @@ CaseSpec::parse(const std::string &s, CaseSpec &out, std::string &err)
                     err = "bad faults spec: " + ferr;
                     return false;
                 }
+            } else if (key == "mcs") {
+                spec.mcs = static_cast<unsigned>(std::stoul(val));
+                if (spec.mcs == 0) {
+                    err = "mcs must be >= 1";
+                    return false;
+                }
+            } else if (key == "topo") {
+                if (!noc::TopologyConfig::parse(val, spec.topo)) {
+                    err = "bad topology '" + val +
+                          "' (want flat|tree<radix>)";
+                    return false;
+                }
             } else {
                 err = "unknown key '" + key + "'";
                 return false;
@@ -256,10 +272,37 @@ drawStructureConfig(std::uint64_t seed, bool oracles,
 }
 
 /**
+ * Apply the spec's machine-shape overrides (mcs=/topo= tokens) on top
+ * of the seed draw. The draw itself is untouched — same rng stream, so
+ * pinning the shape never perturbs the rest of the case. Scheme
+ * defaults are not re-derived: System's constructor syncs mc.numMcs /
+ * mc.treeAcks from the top-level fields itself.
+ */
+void
+applyMachineOverrides(const CaseSpec &spec, core::SystemConfig &cfg)
+{
+    if (spec.mcs != 0)
+        cfg.numMcs = spec.mcs;
+    cfg.topology = spec.topo;
+}
+
+/** The `mcs=N [topo=treeR]` tail every case summary carries. */
+std::string
+shapeSummary(const core::SystemConfig &cfg)
+{
+    std::string s = " mcs=" + std::to_string(cfg.numMcs);
+    if (cfg.topology.isTree())
+        s += " topo=" + cfg.topology.toString();
+    return s;
+}
+
+/**
  * Derive the system + compiler configuration from the seed. The draw is
  * independent of the shrink level so a shrunk reproducer still runs the
  * same hardware shape it failed on. Ranges follow what the crash-stress
- * suite has proven safe (tiny gated WPQs, strict commit, 1-4 MCs).
+ * suite has proven safe (tiny gated WPQs, strict commit, 1-4 MCs);
+ * the spec's mcs=/topo= overrides reach past them for the scale-out
+ * shapes (test_fuzz pins a 65-MC tree campaign through this path).
  */
 CaseBuild
 buildCase(const CaseSpec &spec, bool oracles)
@@ -293,6 +336,7 @@ buildCase(const CaseSpec &spec, bool oracles)
         core::SystemConfig cfg;
         compiler::CompilerConfig ccfg;
         drawStructureConfig(spec.seed, oracles, cfg, ccfg);
+        applyMachineOverrides(spec, cfg);
         compiler::LightWspCompiler comp(ccfg);
 
         CaseBuild out;
@@ -305,7 +349,7 @@ buildCase(const CaseSpec &spec, bool oracles)
         out.pdsSpec = ps;
         out.pdsOps = std::move(ops);
         out.pdsPrefixOk = out.prog.stats.thresholdConverged;
-        out.summary = srcSummary + " mcs=" + std::to_string(cfg.numMcs) +
+        out.summary = srcSummary + shapeSummary(cfg) +
                       " wpq=" + std::to_string(cfg.mc.wpqEntries) +
                       " thr=" + std::to_string(ccfg.storeThreshold) +
                       (cfg.mc.strictFlushAcks ? " strict" : "");
@@ -334,6 +378,7 @@ buildCase(const CaseSpec &spec, bool oracles)
     cfg.maxCycles = 30'000'000;
     cfg.oraclesEnabled = oracles;
     cfg.applySchemeDefaults();
+    applyMachineOverrides(spec, cfg);
 
     compiler::CompilerConfig ccfg;
     static const unsigned thrChoices[] = {4, 8, 16, 32};
@@ -347,7 +392,7 @@ buildCase(const CaseSpec &spec, bool oracles)
     out.threads = src.threads;
     out.footprint = src.footprintBytes;
     out.lockAddrs = src.lockAddrs;
-    out.summary = src.summary + " mcs=" + std::to_string(cfg.numMcs) +
+    out.summary = src.summary + shapeSummary(cfg) +
                   " wpq=" + std::to_string(cfg.mc.wpqEntries) + " thr=" +
                   std::to_string(ccfg.storeThreshold) +
                   (cfg.mc.strictFlushAcks ? " strict" : "");

@@ -25,6 +25,7 @@
 #include "common/types.hh"
 #include "fault/fault.hh"
 #include "fault/storm.hh"
+#include "noc/topology.hh"
 #include "pds/pds.hh"
 #include "serve/serve.hh"
 #include "trace/events.hh"
@@ -90,6 +91,19 @@ struct CaseSpec
      * (the fault was reported); silent corruption fails.
      */
     fault::FaultConfig faults;
+
+    /**
+     * Machine-shape overrides for the scale-out axis (Fig 23). mcs = 0
+     * keeps the seed-drawn MC count (1-4); a nonzero value pins it —
+     * this is how the campaign reaches the sharded many-MC shapes
+     * (including >= 64, the broadcast-mask regression surface). The
+     * topology defaults to the flat fabric; a tree value switches the
+     * victim to hierarchical boundary broadcast/ACK aggregation. Both
+     * ride the spec string as `mcs=` / `topo=` tokens, emitted only
+     * when non-default so existing spec strings round-trip unchanged.
+     */
+    unsigned mcs = 0;
+    noc::TopologyConfig topo;
 
     std::string toString() const;
     /** Parse a spec string; on failure @p err explains why. */

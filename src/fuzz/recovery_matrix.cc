@@ -33,6 +33,20 @@ struct MatrixBuild
     Addr heapLo = 0, heapHi = 0;  ///< builtin golden-diff heap range
 };
 
+/**
+ * Pin the case's MC count / fabric topology on top of the defaults.
+ * Deliberately does NOT re-run applySchemeDefaults (its Capri/cWSP
+ * branches re-multiply drain intervals); System's constructor derives
+ * mc.numMcs / mc.treeAcks from the top-level fields itself.
+ */
+void
+applyShape(const MatrixCase &c, core::SystemConfig &cfg)
+{
+    if (c.numMcs != 0)
+        cfg.numMcs = c.numMcs;
+    cfg.topology = c.topology;
+}
+
 MatrixBuild
 build(const MatrixCase &c, const MatrixOptions &opt)
 {
@@ -49,6 +63,7 @@ build(const MatrixCase &c, const MatrixOptions &opt)
         b.cfg.numCores = std::min(4u, src.threads);
         b.cfg.maxCycles = 30'000'000;
         b.cfg.applySchemeDefaults();
+        applyShape(c, b.cfg);
         b.cfg.engine = opt.engine;
         compiler::CompilerConfig ccfg;
         ccfg.storeThreshold = 8;
@@ -76,6 +91,7 @@ build(const MatrixCase &c, const MatrixOptions &opt)
                                         pds::PdsRunMode::Recovery);
     }
     b.cfg = pds::makePdsConfig(c.scheme, pds::PdsRunMode::Recovery);
+    applyShape(c, b.cfg);
     // Tight hang backstop: matrix cases are tiny (tens of ops), so a run
     // that needs anywhere near this many cycles is live-locked.
     b.cfg.maxCycles = 30'000'000;
@@ -130,6 +146,28 @@ recoveryMatrixCases()
     c.wlSeed = 2;
     c.name = "builtin/lightwsp";
     cases.push_back(c);
+    // Scale-out rows: the same hash-table sweep on a sharded 16-MC
+    // machine, once on the flat fabric and once on the radix-4
+    // aggregation tree — recovery re-entrancy must hold when boundary
+    // broadcasts descend a hierarchy and ACKs aggregate at interior
+    // nodes (ISSUE: 64-MC broadcast-mask overflow regression family).
+    for (bool tree : {false, true}) {
+        MatrixCase sc;
+        sc.source = MatrixCase::Source::Pds;
+        sc.scheme = pds::PdsScheme::LightWsp;
+        sc.pds.kind = pds::Kind::Hash;
+        sc.pds.sizeClass = 0;
+        sc.pds.numOps = 24;
+        sc.pds.mix = 0;
+        sc.pds.seed = 5;
+        sc.pds.opsPerTx = 2;
+        sc.numMcs = 16;
+        if (tree)
+            sc.topology.kind = noc::TopologyConfig::Kind::Tree;
+        sc.name = std::string("hash16/") +
+                  (tree ? "lightwsp-tree4" : "lightwsp-flat");
+        cases.push_back(sc);
+    }
     return cases;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "noc/topology.hh"
 #include "pds/pds.hh"
 #include "serve/serve.hh"
 #include "sim/simulator.hh"
@@ -45,6 +46,15 @@ struct MatrixCase
     pds::PdsSpec pds;        ///< Pds source
     serve::ServeSpec serve;  ///< Serve source
     std::uint64_t wlSeed = 1;  ///< Builtin source: workload-program seed
+
+    /**
+     * Machine-shape overrides (Fig 23 scale-out rows). numMcs = 0 keeps
+     * the scheme's default shape; nonzero pins the MC count, and a tree
+     * topology reruns the whole crash-at-every-recovery-cycle sweep on
+     * the hierarchical broadcast/ACK fabric.
+     */
+    unsigned numMcs = 0;
+    noc::TopologyConfig topology;
 };
 
 struct MatrixOptions

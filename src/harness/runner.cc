@@ -55,6 +55,10 @@ makeConfig(const workloads::WorkloadProfile &profile, const RunSpec &spec)
         cfg.victimPolicy = *spec.victimPolicy;
     if (spec.strictFlushAcks)
         cfg.mc.strictFlushAcks = *spec.strictFlushAcks;
+    if (spec.numMcs)
+        cfg.numMcs = *spec.numMcs;
+    if (spec.topology)
+        cfg.topology = *spec.topology;
 
     cfg.applySchemeDefaults();
     return cfg;
@@ -155,7 +159,9 @@ specKey(const RunSpec &spec)
        << spec.extraPathLatency.value_or(0) << '/'
        << spec.drainInterval.value_or(1) << '/'
        << spec.strictFlushAcks.value_or(false) << '/'
-       << simEngineName(spec.engine.value_or(defaultSimEngine()));
+       << simEngineName(spec.engine.value_or(defaultSimEngine())) << '/'
+       << spec.numMcs.value_or(2) << '/'
+       << spec.topology.value_or(noc::TopologyConfig{}).toString();
     return os.str();
 }
 

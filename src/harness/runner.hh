@@ -48,6 +48,8 @@ struct RunSpec
     std::optional<Tick> drainInterval;         ///< CXL media bandwidth
     std::optional<bool> strictFlushAcks;       ///< commit-pipeline ablation
     std::optional<SimEngine> engine;           ///< A/B: event vs cycle
+    std::optional<unsigned> numMcs;            ///< Fig 23 (scale-out)
+    std::optional<noc::TopologyConfig> topology;  ///< Fig 23 (flat/tree)
 };
 
 /**

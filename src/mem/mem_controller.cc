@@ -16,15 +16,17 @@ MemController::MemController(McId id, const McConfig &cfg, MemImage &pm,
       dramCache_("mc" + std::to_string(id) + ".dramcache", cfg.dramCache),
       wpqOccupancy_(0, static_cast<double>(cfg.wpqEntries + 1), 32)
 {
-    LWSP_ASSERT(cfg.numMcs >= 1 && cfg.numMcs <= 32, "bad MC count");
-}
-
-std::uint32_t
-MemController::peerMask() const
-{
-    std::uint32_t all = (cfg_.numMcs >= 32) ? ~0u
-                                            : ((1u << cfg_.numMcs) - 1);
-    return all & ~(1u << id_);
+    LWSP_ASSERT(cfg.numMcs >= 1, "bad MC count");
+    LWSP_ASSERT(id < cfg.numMcs, "MC id out of range");
+    // A one-leaf tree has no fabric to aggregate over: degrade to flat,
+    // mirroring the Noc's own single-MC degradation.
+    if (cfg_.numMcs <= 1)
+        cfg_.treeAcks = false;
+    peersAll_.reset(cfg_.numMcs);
+    for (McId mc = 0; mc < cfg_.numMcs; ++mc) {
+        if (mc != id_)
+            peersAll_.set(mc);
+    }
 }
 
 bool
@@ -35,7 +37,7 @@ MemController::ready(RegionId r) const
     auto it = regions_.find(r);
     if (it == regions_.end() || !it->second.bdryArrived)
         return false;
-    return (it->second.bdryAcks & peerMask()) == peerMask();
+    return bdryAcksComplete(it->second);
 }
 
 bool
@@ -79,6 +81,12 @@ MemController::sendToPeers(McMsg::Type type, RegionId r, Tick now)
     msg.type = type;
     msg.region = r;
     msg.from = id_;
+    if (cfg_.treeAcks) {
+        // One ACK up the aggregation tree; the completed round comes
+        // back as the root's BdryAllAcked / FlushAllAcked announcement.
+        noc_.ackUp(id_, msg, now);
+        return;
+    }
     for (McId mc = 0; mc < cfg_.numMcs; ++mc) {
         if (mc != id_)
             noc_.send(mc, msg, now);
@@ -100,7 +108,7 @@ MemController::receive(const McMsg &msg, Tick now)
         RegionState &st = state(msg.region);
         st.bdryArrived = true;
         st.bdryArrivedAt = now;
-        if ((st.bdryAcks & peerMask()) == peerMask())
+        if (bdryAcksComplete(st))
             bcastLatency_.sample(0);
         if (!st.bdryAckSent) {
             st.bdryAckSent = true;
@@ -122,18 +130,40 @@ MemController::receive(const McMsg &msg, Tick now)
              msg.from});
         {
             RegionState &st = state(msg.region);
-            bool was_complete =
-                (st.bdryAcks & peerMask()) == peerMask();
-            st.bdryAcks |= (1u << msg.from);
+            bool was_complete = bdryAcksComplete(st);
+            st.bdryAcks.set(msg.from);
             if (!was_complete && st.bdryArrived &&
-                (st.bdryAcks & peerMask()) == peerMask()) {
+                bdryAcksComplete(st)) {
                 bcastLatency_.sample(
                     static_cast<double>(now - st.bdryArrivedAt));
             }
         }
         break;
       case McMsg::Type::FlushAck:
-        state(msg.region).flushAcks |= (1u << msg.from);
+        state(msg.region).flushAcks.set(msg.from);
+        maybeAdvanceFlushId(now);
+        break;
+      case McMsg::Type::BdryAllAcked: {
+        // Tree-fabric root announcement: every MC's bdry-ACK for this
+        // region aggregated. Stands in for the flat all-to-all round.
+        if (cfg_.oracle)
+            cfg_.oracle->onBdryAllAcked(id_, msg.region);
+        trace::emitIf<trace::Category::Boundary>(
+            cfg_.sink,
+            {now, trace::EventType::BoundaryAck,
+             static_cast<std::int32_t>(id_), 0, msg.region, 0, 0,
+             cfg_.numMcs});
+        RegionState &st = state(msg.region);
+        bool was_complete = st.allBdryAcked;
+        st.allBdryAcked = true;
+        if (!was_complete && st.bdryArrived) {
+            bcastLatency_.sample(
+                static_cast<double>(now - st.bdryArrivedAt));
+        }
+        break;
+      }
+      case McMsg::Type::FlushAllAcked:
+        state(msg.region).allFlushAcked = true;
         maybeAdvanceFlushId(now);
         break;
     }
@@ -148,10 +178,8 @@ MemController::maybeAdvanceFlushId(Tick now)
         if (it == regions_.end())
             break;
         const RegionState &st = it->second;
-        if (!st.localFlushDone ||
-            (st.flushAcks & peerMask()) != peerMask()) {
+        if (!st.localFlushDone || !flushAcksComplete(st))
             break;
-        }
         regions_.erase(it);
         if (cfg_.oracle)
             cfg_.oracle->onCommit(id_, flushId_, now);
@@ -244,7 +272,7 @@ MemController::finishLocalFlush(RegionId r, Tick now)
     if (st.localFlushDone)
         return;
     st.localFlushDone = true;
-    st.flushAcks |= (1u << id_);
+    st.flushAcks.set(id_);
     trace::emitIf<trace::Category::Wpq>(
         cfg_.sink,
         {now, trace::EventType::WpqDrainDone,
@@ -290,10 +318,8 @@ MemController::tick(Tick now)
     // Skip past ready regions with no local entries (no drain cost).
     while (ready(drainCursor_) && !wpq_.hasRegion(drainCursor_)) {
         bool may_advance = true;
-        if (cfg_.strictFlushAcks) {
-            may_advance =
-                (state(drainCursor_).flushAcks & peerMask()) == peerMask();
-        }
+        if (cfg_.strictFlushAcks)
+            may_advance = flushAcksComplete(state(drainCursor_));
         finishLocalFlush(drainCursor_, now);
         if (!may_advance)
             return;

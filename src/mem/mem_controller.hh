@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bitset.hh"
 #include "common/stats.hh"
 #include "mem/cache.hh"
 #include "mem/mem_image.hh"
@@ -74,6 +75,15 @@ struct McConfig
     bool strictFlushAcks = false;
     /** false = plain FIFO drain with no region gating (non-WSP schemes). */
     bool gatingEnabled = true;
+    /**
+     * ACKs ride a tree aggregation fabric (noc/topology.hh): instead of
+     * all-to-all peer unicasts the MC hands a single ACK to its leaf
+     * uplink (`Noc::ackUp`) and learns round completion from the root's
+     * BdryAllAcked / FlushAllAcked announcements. Set by System when the
+     * configured topology is a tree with more than one MC; forced off
+     * for a single MC (a one-leaf tree degrades to flat).
+     */
+    bool treeAcks = false;
     /**
      * When non-null, every protocol event (boundary arrival, ACK, WPQ
      * insert, PM release, commit, crash drain) is reported to the LRPO
@@ -267,8 +277,10 @@ class MemController : public Clocked, public McEndpoint
     struct RegionState
     {
         bool bdryArrived = false;
-        std::uint32_t bdryAcks = 0;   ///< bitmask of peer MCs
-        std::uint32_t flushAcks = 0;  ///< bitmask incl. self
+        DynBitset bdryAcks;           ///< per-peer bdry-ACKs (flat fabric)
+        DynBitset flushAcks;          ///< flush-ACKs incl. self (flat)
+        bool allBdryAcked = false;    ///< root announcement (tree fabric)
+        bool allFlushAcked = false;   ///< root announcement (tree fabric)
         bool localFlushDone = false;
         bool bdryAckSent = false;
         Tick bdryArrivedAt = 0;       ///< stats-only (bcastLatency)
@@ -280,12 +292,35 @@ class MemController : public Clocked, public McEndpoint
         bool normalFlushStarted = false;
     };
 
-    RegionState &state(RegionId r) { return regions_[r]; }
+    RegionState &
+    state(RegionId r)
+    {
+        RegionState &st = regions_[r];
+        if (st.bdryAcks.size() == 0) {
+            st.bdryAcks.reset(cfg_.numMcs);
+            st.flushAcks.reset(cfg_.numMcs);
+        }
+        return st;
+    }
 
     /** All peers' bdry-ACKs plus our own arrival: safe to flush. */
     bool ready(RegionId r) const;
 
-    std::uint32_t peerMask() const;
+    /** The round is complete: every peer's bdry-ACK has been observed. */
+    bool
+    bdryAcksComplete(const RegionState &st) const
+    {
+        return cfg_.treeAcks ? st.allBdryAcked
+                             : st.bdryAcks.containsAll(peersAll_);
+    }
+
+    /** Every MC's flush-ACK for the region has been observed. */
+    bool
+    flushAcksComplete(const RegionState &st) const
+    {
+        return cfg_.treeAcks ? st.allFlushAcked
+                             : st.flushAcks.containsAll(peersAll_);
+    }
 
     void sendToPeers(McMsg::Type type, RegionId r, Tick now);
 
@@ -324,6 +359,7 @@ class MemController : public Clocked, public McEndpoint
     McConfig cfg_;
     MemImage &pm_;
     noc::Noc &noc_;
+    DynBitset peersAll_;  ///< every MC id except our own
     Wpq wpq_;
     Cache dramCache_;
 

@@ -55,15 +55,40 @@ LrpoOracle::onBdryAck(McId mc, RegionId region, McId from)
 {
     ++checksRun_;
     auto &st = mcState(mc);
-    std::uint32_t bit = 1u << from;
-    if (from == mc || (st.acks[region] & bit)) {
+    if (from == mc || st.acks[region].count(from)) {
         std::ostringstream os;
         os << "mc" << mc << ": unexpected bdry-ACK for region " << region
            << " from mc" << from
            << (from == mc ? " (self-ACK)" : " (duplicate)");
         violate(0, os.str());
     }
-    st.acks[region] |= bit;
+    st.acks[region].insert(from);
+}
+
+void
+LrpoOracle::onBdryAllAcked(McId mc, RegionId region)
+{
+    ++checksRun_;
+    auto &st = mcState(mc);
+    if (!treeAcks_) {
+        std::ostringstream os;
+        os << "mc" << mc << ": BdryAllAcked for region " << region
+           << " on a flat fabric";
+        violate(0, os.str());
+    }
+    if (!st.arrived.count(region)) {
+        std::ostringstream os;
+        os << "mc" << mc << ": BdryAllAcked for region " << region
+           << " before its boundary arrived here — an MC cannot have"
+           << " ACKed a boundary it never received";
+        violate(0, os.str());
+    }
+    if (!st.allAcked.insert(region).second) {
+        std::ostringstream os;
+        os << "mc" << mc << ": duplicate BdryAllAcked for region "
+           << region;
+        violate(0, os.str());
+    }
 }
 
 void
@@ -112,16 +137,32 @@ LrpoOracle::onFlush(McId mc, int kind, Addr addr, std::uint64_t value,
                    << " — unclosed region leaked";
                 violate(now, os.str());
             }
-            auto it = st.acks.find(region);
-            std::uint32_t have = (it == st.acks.end()) ? 0 : it->second;
-            std::uint32_t need = peerMask(mc);
-            if ((have & need) != need) {
-                std::ostringstream os;
-                os << "mc" << mc << ": store of region " << region
-                   << " released to PM with ack mask 0x" << std::hex
-                   << have << " != required 0x" << need << std::dec
-                   << " — region not closed on all MCs";
-                violate(now, os.str());
+            if (treeAcks_) {
+                if (!st.allAcked.count(region)) {
+                    std::ostringstream os;
+                    os << "mc" << mc << ": store of region " << region
+                       << " released to PM before the tree root announced"
+                       << " its bdry-ACK round — region not closed on all"
+                       << " MCs";
+                    violate(now, os.str());
+                }
+            } else {
+                auto it = st.acks.find(region);
+                std::size_t have = 0;
+                if (it != st.acks.end()) {
+                    for (McId from : it->second) {
+                        if (from != mc)
+                            ++have;
+                    }
+                }
+                if (have + 1 < numMcs_) {
+                    std::ostringstream os;
+                    os << "mc" << mc << ": store of region " << region
+                       << " released to PM with " << have << " of "
+                       << (numMcs_ - 1) << " peer bdry-ACKs"
+                       << " — region not closed on all MCs";
+                    violate(now, os.str());
+                }
             }
             if (region < st.lastNormalFlush) {
                 std::ostringstream os;

@@ -57,12 +57,17 @@ class LrpoOracle
 {
   public:
     /**
-     * @param num_mcs memory-controller count (for the peer-ACK mask)
+     * @param num_mcs memory-controller count (for the peer-ACK census)
      * @param gated true when the WPQ is region-gated (LightWSP); the
      *        ordering invariants only apply to gated operation
+     * @param tree_acks true when ACKs aggregate on a tree fabric: MCs
+     *        then see BdryAllAcked root announcements instead of
+     *        per-peer bdry-ACKs, and invariant 1 checks against those
      */
-    explicit LrpoOracle(unsigned num_mcs = 2, bool gated = true)
-        : numMcs_(num_mcs), gated_(gated)
+    explicit LrpoOracle(unsigned num_mcs = 2, bool gated = true,
+                        bool tree_acks = false)
+        : numMcs_(num_mcs), gated_(gated),
+          treeAcks_(tree_acks && num_mcs > 1)
     {
     }
 
@@ -72,6 +77,9 @@ class LrpoOracle
 
     /** Peer @p from's bdry-ACK for @p region received at MC @p mc. */
     void onBdryAck(McId mc, RegionId region, McId from);
+
+    /** Tree root announced the completed bdry-ACK round at MC @p mc. */
+    void onBdryAllAcked(McId mc, RegionId region);
 
     /** Entry accepted into MC @p mc's WPQ (occupancy is post-insert). */
     void onAccept(McId mc, const PersistEntry &e, std::size_t occupancy,
@@ -134,18 +142,17 @@ class LrpoOracle
   private:
     void violate(Tick now, const std::string &what);
 
-    std::uint32_t
-    peerMask(McId mc) const
-    {
-        std::uint32_t all = (numMcs_ >= 32) ? ~0u
-                                            : ((1u << numMcs_) - 1);
-        return all & ~(1u << mc);
-    }
-
     struct PerMc
     {
         std::set<RegionId> arrived;
-        std::map<RegionId, std::uint32_t> acks;
+        /**
+         * Flat fabric: which peers have bdry-ACKed each region. A set of
+         * MC ids, not a shift mask — `1u << from` was UB past 32 MCs and
+         * silently aliased wider fabrics.
+         */
+        std::map<RegionId, std::set<McId>> acks;
+        /** Tree fabric: regions whose BdryAllAcked announcement landed. */
+        std::set<RegionId> allAcked;
         RegionId lastNormalFlush = 0;
         RegionId lastCommit = 0;
     };
@@ -162,6 +169,7 @@ class LrpoOracle
 
     unsigned numMcs_;
     bool gated_;
+    bool treeAcks_;
 
     std::map<McId, PerMc> mcs_;
     std::unordered_map<Addr, LastWrite> lastWriter_;

@@ -49,9 +49,17 @@ struct McMsg
 {
     enum class Type : std::uint8_t
     {
-        BdryArrival,  ///< boundary broadcast reaching this MC
-        BdryAck,      ///< "I have received boundary <region>"
-        FlushAck,     ///< "I have flushed all my entries of <region>"
+        BdryArrival,   ///< boundary broadcast reaching this MC
+        BdryAck,       ///< "I have received boundary <region>"
+        FlushAck,      ///< "I have flushed all my entries of <region>"
+        /**
+         * Tree-fabric root announcements (see noc/topology.hh): every
+         * MC's BdryAck/FlushAck for <region> has aggregated to the root,
+         * which broadcasts the completed round back down in place of the
+         * flat fabric's all-to-all ACK exchange.
+         */
+        BdryAllAcked,
+        FlushAllAcked,
     };
 
     Type type = Type::BdryArrival;

@@ -1,12 +1,27 @@
 /**
  * @file
- * Minimal on-chip network for the LRPO control plane.
+ * On-chip / on-rack network for the LRPO control plane.
  *
  * Carries boundary broadcasts (router -> every MC) and the bdry-ACK /
  * flush-ACK exchanges between MCs, each with a fixed hop latency. Per the
  * paper (§IV-B), MC-to-MC ACKs ride battery-backed links: on power failure
  * `deliverAllNow()` drains them so in-flight ACKs still reach their
  * targets, while anything a core had in flight simply dies with the core.
+ *
+ * Two fabrics (see topology.hh):
+ *
+ *  - Flat (default, the paper's machine): a dedicated router->MC link per
+ *    MC; ACKs are all-to-all MC unicasts (O(MCs^2) messages per region).
+ *
+ *  - Tree (radix r): boundary broadcasts descend a complete r-ary tree
+ *    of switch stages, one hop latency per level; ACKs ascend it, each
+ *    interior node forwarding one combined ACK once every child subtree
+ *    has reported, and the root announcing the completed round back down
+ *    as `BdryAllAcked` / `FlushAllAcked` (O(MCs) messages per region).
+ *    The ACK/announce plane is battery-backed control traffic and is
+ *    always reliable, exactly like flat-mode ACK unicasts; only boundary
+ *    broadcasts roll fault fates, and they roll them **per tree link**,
+ *    so one bad high link can lose a whole subtree at once.
  *
  * Broadcast reliability: the paper assumes the router-to-MC links never
  * lose a boundary broadcast. When the fault layer is armed we drop that
@@ -15,24 +30,35 @@
  * observed per MC (a link-level ack, folded into the retry timeout
  * rather than modelled as a separate message), and copies still
  * undelivered when the timeout expires are re-sent with exponential
- * backoff. The MC link port deduplicates by bcastId — the second copy
- * of an already-delivered broadcast (a fault-injected duplicate, or a
- * retry racing a merely-slow original) is filtered before it reaches
- * the MC, keeping BdryArrival exactly-once. With the injector armed but
- * all probabilities zero, every copy is delivered before its deadline
- * and the pending entry is erased on arrival — timing and traces are
- * bit-identical to the fire-and-forget path.
+ * backoff. Retries re-send the *original stored message* (never a
+ * reconstruction) and, in tree mode, re-descend only into subtrees that
+ * still contain undelivered MCs — a modelling shortcut for the real
+ * switch's pruned multicast state; copies it would otherwise deliver
+ * twice are filtered at the MC port by `bcastId` dedup anyway. With the
+ * injector armed but all probabilities zero, every copy is delivered
+ * before its deadline and the pending entry is erased on arrival —
+ * timing and traces are bit-identical to the fire-and-forget path.
+ *
+ * Delivery tracking uses a size-checked DynBitset shared by the retry
+ * path and `deliverAllNow` — the old single-`uint64_t` mask made
+ * `1ull << mc` undefined behaviour at 64+ MCs and silently aliased
+ * delivery above 64 (see common/bitset.hh).
  */
 
 #ifndef LWSP_NOC_NOC_HH
 #define LWSP_NOC_NOC_HH
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/bitset.hh"
 #include "common/stats.hh"
 #include "fault/fault.hh"
 #include "mem/persist.hh"
+#include "noc/topology.hh"
 #include "sim/clocked.hh"
 #include "sim/delay_line.hh"
 #include "trace/sink.hh"
@@ -43,17 +69,26 @@ namespace noc {
 class Noc : public Clocked
 {
   public:
-    Noc(unsigned num_mcs, Tick hop_latency)
-        : Clocked("noc"), hopLatency_(hop_latency), inboxes_(num_mcs),
+    Noc(unsigned num_mcs, Tick hop_latency, TopologyConfig topo = {})
+        : Clocked("noc"), hopLatency_(hop_latency), numMcs_(num_mcs),
           retryTimeout_(8 * (hop_latency ? hop_latency : 1))
     {
+        LWSP_ASSERT(num_mcs >= 1, "Noc needs at least one MC");
+        // A single MC has no fabric to aggregate over: degrade to flat.
+        if (topo.isTree() && num_mcs > 1) {
+            shape_ = std::make_unique<TreeShape>(num_mcs, topo.radix);
+            downLinks_.resize(shape_->numNodes());
+            upLinks_.resize(shape_->numNodes());
+        } else {
+            inboxes_.resize(num_mcs);
+        }
     }
 
     /** Register MC endpoints after construction (index = McId). */
     void
     attach(std::vector<mem::McEndpoint *> endpoints)
     {
-        LWSP_ASSERT(endpoints.size() == inboxes_.size(),
+        LWSP_ASSERT(endpoints.size() == numMcs_,
                     "endpoint count mismatch");
         endpoints_ = std::move(endpoints);
     }
@@ -62,14 +97,30 @@ class Noc : public Clocked
     void setFaultInjector(fault::FaultInjector *f) { faults_ = f; }
     void setTraceSink(trace::TraceSink *s) { sink_ = s; }
 
-    unsigned numMcs() const { return static_cast<unsigned>(inboxes_.size()); }
+    unsigned numMcs() const { return numMcs_; }
+    bool isTree() const { return shape_ != nullptr; }
 
-    /** MC-to-MC unicast (ACKs). */
+    /** MC-to-MC unicast (flat-mode ACKs). */
     void
     send(McId to, const mem::McMsg &msg, Tick now)
     {
+        LWSP_ASSERT(!isTree(), "unicast send on a tree fabric");
         LWSP_ASSERT(to < inboxes_.size(), "bad MC id");
         inboxes_[to].push(now, hopLatency_, msg);
+        ++messagesSent_;
+        rearm();
+    }
+
+    /**
+     * Tree-mode ACK ingress: MC @p from hands its BdryAck/FlushAck to its
+     * leaf's uplink; interior nodes aggregate on the way to the root.
+     */
+    void
+    ackUp(McId from, const mem::McMsg &msg, Tick now)
+    {
+        LWSP_ASSERT(isTree(), "ackUp on a flat fabric");
+        LWSP_ASSERT(from < numMcs_, "bad MC id");
+        upLinks_[from].push(now, hopLatency_, msg);
         ++messagesSent_;
         rearm();
     }
@@ -82,23 +133,33 @@ class Noc : public Clocked
         msg.type = mem::McMsg::Type::BdryArrival;
         msg.region = region;
         if (faults_ == nullptr) {
-            for (McId mc = 0; mc < inboxes_.size(); ++mc)
-                send(mc, msg, now);
+            if (isTree()) {
+                forwardDown(shape_->root(), msg, now, false);
+            } else {
+                for (McId mc = 0; mc < inboxes_.size(); ++mc)
+                    send(mc, msg, now);
+            }
             ++boundariesBroadcast_;
+            rearm();
             return;
         }
         msg.bcastId = nextBcastId_++;
         PendingBcast pb;
-        pb.id = msg.bcastId;
-        pb.region = region;
-        pb.pendingMask = (inboxes_.size() >= 64)
-                             ? ~0ull
-                             : ((1ull << inboxes_.size()) - 1);
+        pb.msg = msg;
+        pb.pending.reset(numMcs_);
+        pb.pending.setAll();
         pb.deadline = now + retryTimeout_;
         bool pin_drop = faults_->pinnedBcastDrop(now);
-        for (McId mc = 0; mc < inboxes_.size(); ++mc)
-            sendFaulty(mc, msg, now, pin_drop);
-        pending_.push_back(pb);
+        if (isTree()) {
+            // The pending entry must exist before the descent so interior
+            // forwarding can consult it for subtree pruning.
+            pending_.push_back(pb);
+            forwardDown(shape_->root(), msg, now, pin_drop);
+        } else {
+            for (McId mc = 0; mc < inboxes_.size(); ++mc)
+                sendFaultyTo(inboxes_[mc], msg, now, pin_drop);
+            pending_.push_back(pb);
+        }
         ++boundariesBroadcast_;
         rearm();
     }
@@ -106,12 +167,24 @@ class Noc : public Clocked
     void
     tick(Tick now) override
     {
-        for (McId mc = 0; mc < inboxes_.size(); ++mc) {
-            while (inboxes_[mc].headReady(now)) {
-                mem::McMsg msg = inboxes_[mc].pop();
-                if (msg.bcastId != 0 && !markDelivered(msg.bcastId, mc))
-                    continue;  // duplicate copy: filtered at the port
-                endpoints_.at(mc)->receive(msg, now);
+        if (isTree()) {
+            for (unsigned n = 0; n < downLinks_.size(); ++n) {
+                while (downLinks_[n].headReady(now))
+                    handleDownAt(n, downLinks_[n].pop(), now);
+            }
+            for (unsigned n = 0; n < upLinks_.size(); ++n) {
+                while (upLinks_[n].headReady(now))
+                    aggregateAt(shape_->parent(n), n, upLinks_[n].pop(),
+                                now);
+            }
+        } else {
+            for (McId mc = 0; mc < inboxes_.size(); ++mc) {
+                while (inboxes_[mc].headReady(now)) {
+                    mem::McMsg msg = inboxes_[mc].pop();
+                    if (msg.bcastId != 0 && !markDelivered(msg.bcastId, mc))
+                        continue;  // duplicate copy: filtered at the port
+                    endpoints_.at(mc)->receive(msg, now);
+                }
             }
         }
         if (faults_ != nullptr && !pending_.empty())
@@ -126,8 +199,16 @@ class Noc : public Clocked
             if (!inbox.empty())
                 next = std::min(next, std::max(now, inbox.headReadyTick()));
         }
+        for (const auto &link : downLinks_) {
+            if (!link.empty())
+                next = std::min(next, std::max(now, link.headReadyTick()));
+        }
+        for (const auto &link : upLinks_) {
+            if (!link.empty())
+                next = std::min(next, std::max(now, link.headReadyTick()));
+        }
         for (const auto &pb : pending_) {
-            if (pb.pendingMask != 0)
+            if (pb.pending.any())
                 next = std::min(next, std::max(now, pb.deadline));
         }
         return next;
@@ -140,21 +221,45 @@ class Noc : public Clocked
      * dropped and the router had not yet retried are lost for good — the
      * crash drain then stops before the first region whose boundary is
      * missing at some MC, and recovery degrades to that older epoch.
+     * On a tree, in-flight copies at interior stages are forwarded
+     * reliably the rest of the way down (battery), and the ACK plane
+     * drains to quiescence (aggregations may complete mid-drain).
      */
     void
     deliverAllNow(Tick now)
     {
-        for (McId mc = 0; mc < inboxes_.size(); ++mc) {
-            while (!inboxes_[mc].empty()) {
-                mem::McMsg msg = inboxes_[mc].pop();
-                if (msg.bcastId != 0 && !markDelivered(msg.bcastId, mc))
-                    continue;  // duplicate copy: filtered at the port
-                endpoints_.at(mc)->receive(msg, now);
+        if (isTree()) {
+            bool again = true;
+            while (again) {
+                again = false;
+                for (unsigned n = 0; n < downLinks_.size(); ++n) {
+                    while (!downLinks_[n].empty()) {
+                        handleDownAt(n, downLinks_[n].pop(), now,
+                                     /*reliable=*/true);
+                        again = true;
+                    }
+                }
+                for (unsigned n = 0; n < upLinks_.size(); ++n) {
+                    while (!upLinks_[n].empty()) {
+                        aggregateAt(shape_->parent(n), n,
+                                    upLinks_[n].pop(), now);
+                        again = true;
+                    }
+                }
+            }
+        } else {
+            for (McId mc = 0; mc < inboxes_.size(); ++mc) {
+                while (!inboxes_[mc].empty()) {
+                    mem::McMsg msg = inboxes_[mc].pop();
+                    if (msg.bcastId != 0 && !markDelivered(msg.bcastId, mc))
+                        continue;  // duplicate copy: filtered at the port
+                    endpoints_.at(mc)->receive(msg, now);
+                }
             }
         }
         if (faults_ != nullptr) {
             for (const auto &pb : pending_) {
-                if (pb.pendingMask != 0)
+                if (pb.pending.any())
                     ++faults_->bcastLostAtCrash;
             }
             pending_.clear();
@@ -172,38 +277,127 @@ class Noc : public Clocked
     /** One not-yet-everywhere-delivered broadcast (fault mode only). */
     struct PendingBcast
     {
-        std::uint64_t id = 0;
-        RegionId region = invalidRegion;
-        std::uint64_t pendingMask = 0;  ///< bit per MC still undelivered
+        mem::McMsg msg;       ///< original message, re-sent verbatim
+        DynBitset pending;    ///< bit per MC still undelivered
         Tick deadline = 0;
         unsigned attempts = 0;
     };
 
     /** Send one broadcast copy through the fault injector's fate roll. */
     void
-    sendFaulty(McId mc, const mem::McMsg &msg, Tick now, bool pin_drop)
+    sendFaultyTo(DelayLine<mem::McMsg> &line, const mem::McMsg &msg,
+                 Tick now, bool pin_drop)
     {
         fault::BcastFate fate =
             pin_drop ? fault::BcastFate::Drop : faults_->bcastFate();
         ++messagesSent_;
         switch (fate) {
           case fault::BcastFate::Deliver:
-            inboxes_[mc].push(now, hopLatency_, msg);
+            line.push(now, hopLatency_, msg);
             break;
           case fault::BcastFate::Drop:
             ++faults_->bcastDrops;
             break;
           case fault::BcastFate::Delay:
             ++faults_->bcastDelays;
-            inboxes_[mc].push(now, hopLatency_ + faults_->bcastDelayCycles(),
-                              msg);
+            line.push(now, hopLatency_ + faults_->bcastDelayCycles(), msg);
             break;
           case fault::BcastFate::Duplicate:
             ++faults_->bcastDups;
-            inboxes_[mc].push(now, hopLatency_, msg);
-            inboxes_[mc].push(now, hopLatency_, msg);
+            line.push(now, hopLatency_, msg);
+            line.push(now, hopLatency_, msg);
             break;
         }
+    }
+
+    const PendingBcast *
+    findPending(std::uint64_t id) const
+    {
+        for (const auto &pb : pending_) {
+            if (pb.msg.bcastId == id)
+                return &pb;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Tree: push @p msg onto every child link of @p node. Fault-armed
+     * broadcasts (bcastId != 0) roll a fate per link and skip subtrees
+     * with no undelivered MC left; control traffic (fault-null
+     * broadcasts, AllAcked announcements) always rides reliably.
+     * @p reliable forces battery-mode forwarding during the crash drain.
+     */
+    void
+    forwardDown(unsigned node, const mem::McMsg &msg, Tick now,
+                bool pin_drop, bool reliable = false)
+    {
+        for (unsigned c : shape_->children(node)) {
+            if (msg.bcastId != 0) {
+                const PendingBcast *pb = findPending(msg.bcastId);
+                if (pb == nullptr ||
+                    !pb->pending.intersects(shape_->leavesUnder(c)))
+                    continue;  // every MC below already has a copy
+                if (!reliable) {
+                    sendFaultyTo(downLinks_[c], msg, now, pin_drop);
+                    continue;
+                }
+            }
+            downLinks_[c].push(now, hopLatency_, msg);
+            ++messagesSent_;
+        }
+    }
+
+    /** Tree: a message surfaced at @p node on its downlink. */
+    void
+    handleDownAt(unsigned node, const mem::McMsg &msg, Tick now,
+                 bool reliable = false)
+    {
+        if (shape_->isLeaf(node)) {
+            McId mc = static_cast<McId>(node);
+            if (msg.bcastId != 0 && !markDelivered(msg.bcastId, mc))
+                return;  // duplicate copy: filtered at the port
+            endpoints_.at(mc)->receive(msg, now);
+            return;
+        }
+        forwardDown(node, msg, now, /*pin_drop=*/false, reliable);
+    }
+
+    /**
+     * Tree: an ACK from child @p child arrived at interior node
+     * @p node. Once every child subtree has reported for this
+     * (type, region), forward one combined ACK up — or, at the root,
+     * announce the completed round to every MC.
+     */
+    void
+    aggregateAt(unsigned node, unsigned child, const mem::McMsg &msg,
+                Tick now)
+    {
+        LWSP_ASSERT(node != TreeShape::invalidNode, "ack above the root");
+        auto &slot = aggState_[node][{static_cast<int>(msg.type),
+                                      msg.region}];
+        const auto &kids = shape_->children(node);
+        if (slot.size() == 0)
+            slot.reset(kids.size());
+        for (std::size_t i = 0; i < kids.size(); ++i) {
+            if (kids[i] == child) {
+                slot.set(i);
+                break;
+            }
+        }
+        if (slot.count() != kids.size())
+            return;
+        aggState_[node].erase({static_cast<int>(msg.type), msg.region});
+        if (node == shape_->root()) {
+            mem::McMsg ann;
+            ann.type = (msg.type == mem::McMsg::Type::BdryAck)
+                           ? mem::McMsg::Type::BdryAllAcked
+                           : mem::McMsg::Type::FlushAllAcked;
+            ann.region = msg.region;
+            forwardDown(node, ann, now, /*pin_drop=*/false);
+            return;
+        }
+        upLinks_[node].push(now, hopLatency_, msg);
+        ++messagesSent_;
     }
 
     /** @return true on first delivery to @p mc, false for a duplicate. */
@@ -211,12 +405,12 @@ class Noc : public Clocked
     markDelivered(std::uint64_t id, McId mc)
     {
         for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-            if (it->id != id)
+            if (it->msg.bcastId != id)
                 continue;
-            if (!(it->pendingMask & (1ull << mc)))
+            if (!it->pending.test(mc))
                 return false;  // this MC already got a copy
-            it->pendingMask &= ~(1ull << mc);
-            if (it->pendingMask == 0)
+            it->pending.clear(mc);
+            if (it->pending.none())
                 pending_.erase(it);
             return true;
         }
@@ -229,33 +423,44 @@ class Noc : public Clocked
     retryExpired(Tick now)
     {
         for (auto &pb : pending_) {
-            if (pb.pendingMask == 0 || now < pb.deadline)
+            if (pb.pending.none() || now < pb.deadline)
                 continue;
             ++pb.attempts;
             ++bcastRetries_;
             ++faults_->bcastRetries;
-            mem::McMsg msg;
-            msg.type = mem::McMsg::Type::BdryArrival;
-            msg.region = pb.region;
-            msg.bcastId = pb.id;
-            for (McId mc = 0; mc < inboxes_.size(); ++mc) {
-                if (pb.pendingMask & (1ull << mc))
-                    sendFaulty(mc, msg, now, false);
+            if (isTree()) {
+                forwardDown(shape_->root(), pb.msg, now, false);
+            } else {
+                for (McId mc = 0; mc < numMcs_; ++mc) {
+                    if (pb.pending.test(mc))
+                        sendFaultyTo(inboxes_[mc], pb.msg, now, false);
+                }
             }
             // Exponential backoff, capped so deadlines stay sane.
             unsigned shift = std::min(pb.attempts, 6u);
             pb.deadline = now + (retryTimeout_ << shift);
             trace::emitIf<trace::Category::Boundary>(
-                sink_, {now, trace::EventType::BcastRetry, -1, 0, pb.region,
-                        0, pb.id, pb.attempts});
+                sink_, {now, trace::EventType::BcastRetry, -1, 0,
+                        pb.msg.region, 0, pb.msg.bcastId, pb.attempts});
         }
     }
 
     Tick hopLatency_;
-    std::vector<DelayLine<mem::McMsg>> inboxes_;
+    unsigned numMcs_;
+    std::vector<DelayLine<mem::McMsg>> inboxes_;  ///< flat: router->MC
     std::vector<mem::McEndpoint *> endpoints_;
     std::uint64_t messagesSent_ = 0;
     std::uint64_t boundariesBroadcast_ = 0;
+
+    // Tree-mode fabric (null/empty on a flat fabric).
+    std::unique_ptr<TreeShape> shape_;
+    /** Link from parent(n) down to node n, indexed by n (root unused). */
+    std::vector<DelayLine<mem::McMsg>> downLinks_;
+    /** Link from node n up to parent(n), indexed by n (root unused). */
+    std::vector<DelayLine<mem::McMsg>> upLinks_;
+    /** Per interior node: (msg type, region) -> children heard from. */
+    std::map<unsigned, std::map<std::pair<int, RegionId>, DynBitset>>
+        aggState_;
 
     // Fault-mode state (empty/unused when faults_ is null).
     fault::FaultInjector *faults_ = nullptr;

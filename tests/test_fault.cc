@@ -30,6 +30,7 @@
 #include "core/system.hh"
 #include "fault/fault.hh"
 #include "fuzz/campaign.hh"
+#include "noc/noc.hh"
 #include "workloads/generator.hh"
 
 using namespace lwsp;
@@ -284,6 +285,73 @@ TEST(FaultNoc, LostBroadcastsRetryAndConverge)
                                 return e.type ==
                                        trace::EventType::BcastRetry;
                             }));
+}
+
+namespace {
+
+/** Bare McEndpoint that records every delivered message. */
+struct CapturingEndpoint : mem::McEndpoint
+{
+    std::vector<mem::McMsg> got;
+    void receive(const mem::McMsg &msg, Tick) override
+    {
+        got.push_back(msg);
+    }
+};
+
+} // namespace
+
+// Audit of the retry path's message rebuild: a copy re-sent after the
+// timeout must be field-for-field identical to the original broadcast —
+// same type, region, sender and bcastId. The router stores the original
+// McMsg in its pending entry and re-sends it verbatim; this pins that
+// contract on both fabrics (a reconstruction bug would surface as a
+// mismatched field at whichever MC only ever saw the retried copy).
+TEST(FaultNoc, RetriedCopyEqualsOriginalFieldForField)
+{
+    for (bool tree : {false, true}) {
+        noc::TopologyConfig topo;
+        if (tree) {
+            topo.kind = noc::TopologyConfig::Kind::Tree;
+            topo.radix = 2;
+        }
+        constexpr unsigned kMcs = 4;
+        constexpr Tick kHop = 5;
+        noc::Noc net(kMcs, kHop, topo);
+        fault::FaultConfig fc;
+        fc.enabled = true;
+        fc.seed = 1;
+        fc.bcastLossPinTick = 0;  // drop every copy of the broadcast
+        fault::FaultInjector inj(fc, 1);
+        net.setFaultInjector(&inj);
+
+        std::vector<CapturingEndpoint> eps(kMcs);
+        std::vector<mem::McEndpoint *> ptrs;
+        for (auto &e : eps)
+            ptrs.push_back(&e);
+        net.attach(ptrs);
+
+        const RegionId region = 42;
+        net.broadcastBoundary(region, 0);
+        EXPECT_EQ(inj.bcastDrops, tree ? 2u : kMcs)
+            << "pinned drop must kill the initial descent per link";
+
+        for (Tick t = 1; t <= 4096; ++t)
+            net.tick(t);
+
+        EXPECT_GT(net.bcastRetries(), 0u);
+        for (unsigned mc = 0; mc < kMcs; ++mc) {
+            ASSERT_EQ(eps[mc].got.size(), 1u)
+                << (tree ? "tree" : "flat") << " MC " << mc
+                << ": want exactly one delivery";
+            const mem::McMsg &m = eps[mc].got[0];
+            EXPECT_EQ(m.type, mem::McMsg::Type::BdryArrival);
+            EXPECT_EQ(m.region, region);
+            EXPECT_EQ(m.from, McId(0));
+            EXPECT_EQ(m.bcastId, 1u)
+                << "retried copy must carry the original bcastId";
+        }
+    }
 }
 
 TEST(FaultNoc, PinnedLossConvergesViaRetry)

@@ -83,6 +83,56 @@ TEST(FuzzSpec, RejectsMalformedSpecs)
     EXPECT_FALSE(err.empty());
 }
 
+TEST(FuzzSpec, RoundTripsMachineShapeTokens)
+{
+    CaseSpec spec;
+    spec.source = CaseSpec::Source::Pds;
+    spec.seed = 9;
+
+    // Default shape: no mcs=/topo= tokens, so pre-scale-out specs and
+    // their reproducers are unchanged byte-for-byte.
+    std::string plain = spec.toString();
+    EXPECT_EQ(plain.find(":mcs="), std::string::npos) << plain;
+    EXPECT_EQ(plain.find(":topo="), std::string::npos) << plain;
+
+    spec.mcs = 65;
+    spec.topo.kind = noc::TopologyConfig::Kind::Tree;
+    spec.topo.radix = 4;
+    std::string s = spec.toString();
+    EXPECT_NE(s.find(":mcs=65"), std::string::npos) << s;
+    EXPECT_NE(s.find(":topo=tree4"), std::string::npos) << s;
+    CaseSpec back = parseOk(s);
+    EXPECT_EQ(back.mcs, 65u);
+    EXPECT_TRUE(back.topo.isTree());
+    EXPECT_EQ(back.topo.radix, 4u);
+    EXPECT_EQ(back.toString(), s);
+
+    std::string err;
+    EXPECT_FALSE(
+        CaseSpec::parse("lwsp-fuzz:v1:pds:seed=9:mcs=0", back, err));
+    EXPECT_FALSE(
+        CaseSpec::parse("lwsp-fuzz:v1:pds:seed=9:topo=ring4", back, err));
+}
+
+// The scale-out path end-to-end: a pds crash campaign pinned to a
+// 65-MC radix-4 tree (past the old uint64_t delivery-mask boundary)
+// must mine, crash, recover and oracle-check cleanly through exactly
+// the spec machinery a reproducer would use.
+TEST(FuzzCampaign, PdsCampaignPassesOn65McTree)
+{
+    setLogQuiet(true);
+    CaseSpec spec;
+    spec.source = CaseSpec::Source::Pds;
+    spec.seed = 1;
+    spec.mcs = 65;
+    spec.topo.kind = noc::TopologyConfig::Kind::Tree;
+    spec.topo.radix = 4;
+    auto res = runCampaign(spec);
+    EXPECT_TRUE(res.passed) << res.failure;
+    EXPECT_GE(res.pointsTried, 4u);
+    EXPECT_GT(res.oracleChecks, 0u);
+}
+
 TEST(FuzzCampaign, WorkloadCampaignPassesCleanly)
 {
     setLogQuiet(true);

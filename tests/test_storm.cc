@@ -155,6 +155,40 @@ TEST(Storm, DrainInterruptsAreInvisible)
     }
 }
 
+// The same invisibility contract on a sharded 8-MC machine, flat and
+// tree fabric: interrupting the quiescence loop while broadcasts/ACK
+// aggregates are mid-flight on many controllers (or mid-descent through
+// interior tree nodes) must not perturb the drained image.
+TEST(Storm, DrainInterruptsAreInvisibleAt8Mcs)
+{
+    for (bool tree : {false, true}) {
+        auto b = build(pds::PdsScheme::LightWsp,
+                       smallSpec(pds::Kind::Log));
+        b.cfg.numMcs = 8;
+        if (tree)
+            b.cfg.topology.kind = noc::TopologyConfig::Kind::Tree;
+        core::System golden(b.cfg, b.prog, 1);
+        auto gres = golden.run();
+        ASSERT_TRUE(gres.completed);
+        Tick at = gres.cycles / 2;
+
+        core::System clean(b.cfg, b.prog, 1);
+        ASSERT_FALSE(clean.runWithPowerFailure(at).completed);
+
+        for (std::vector<unsigned> iters :
+             {std::vector<unsigned>{0}, {1}, {2, 0}, {1, 1, 1}}) {
+            core::System stormy(b.cfg, b.prog, 1);
+            ASSERT_FALSE(stormy.runWithFailureStorm(at, iters)
+                             .completed);
+            EXPECT_TRUE(stormy.pmImage()
+                            .diffInRange(clean.pmImage(), 0, ~Addr(0))
+                            .empty())
+                << (tree ? "tree" : "flat") << " fabric: "
+                << iters.size() << " drain interrupts changed the image";
+        }
+    }
+}
+
 TEST(Storm, RecoveryReentryIsIdempotent)
 {
     auto b = build(pds::PdsScheme::Capri, smallSpec(pds::Kind::Hash));
@@ -337,8 +371,9 @@ TEST(Storm, EngineABBitIdentity)
 }
 
 // One reduced crash-at-every-Nth-cycle-of-recovery matrix case; the
-// exhaustive step-1 sweep over all 21 cases is `fuzz_crash
-// --recovery-matrix` (tier-2 storm job / bench_all.sh --storm).
+// exhaustive step-1 sweep over all 23 cases (incl. the 16-MC flat/tree
+// scale-out rows) is `fuzz_crash --recovery-matrix` (tier-2 storm job /
+// bench_all.sh --storm).
 TEST(Storm, ReducedRecoveryMatrixCase)
 {
     auto cases = fuzz::recoveryMatrixCases();
